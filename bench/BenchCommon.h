@@ -1,0 +1,157 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The harness behind every table/figure reproduction binary: runs a
+/// workload under a chosen executor configuration and returns the
+/// measured counters. Absolute numbers come from the simulated host
+/// (host instructions = wall cycles); see EXPERIMENTS.md for the
+/// paper-vs-measured comparison.
+///
+/// RDBT_BENCH_SCALE (env) scales workload iteration counts (default 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_BENCH_BENCHCOMMON_H
+#define RDBT_BENCH_BENCHCOMMON_H
+
+#include "core/RuleTranslator.h"
+#include "dbt/Engine.h"
+#include "guestsw/MiniKernel.h"
+#include "guestsw/Workloads.h"
+#include "ir/QemuTranslator.h"
+#include "sys/Interpreter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rdbt {
+namespace bench {
+
+/// Executor configurations.
+enum class Config {
+  Native, ///< reference interpreter at 1 cycle/instr (Fig. 18 baseline)
+  Qemu,   ///< the QEMU-6.1-like baseline translator
+  RuleBase,
+  RuleReduction,
+  RuleElimination,
+  RuleFull,
+};
+
+inline const char *configName(Config C) {
+  switch (C) {
+  case Config::Native: return "native";
+  case Config::Qemu: return "qemu-6.1";
+  case Config::RuleBase: return "rule-base";
+  case Config::RuleReduction: return "+reduction";
+  case Config::RuleElimination: return "+elimination";
+  case Config::RuleFull: return "+scheduling";
+  }
+  return "?";
+}
+
+struct RunStats {
+  uint64_t Wall = 0;        ///< emulation cost in host cycles
+  uint64_t GuestInstrs = 0; ///< guest instructions retired
+  uint64_t MemInstrs = 0;
+  uint64_t SysInstrs = 0;
+  uint64_t IrqChecks = 0;
+  uint64_t SyncInstrs = 0; ///< CostClass::Sync host instructions
+  uint64_t SyncOps = 0;
+  uint64_t HostInstrs = 0; ///< all executed host instructions + helper cost
+  bool Ok = false;
+
+  double hostPerGuest() const {
+    return GuestInstrs ? static_cast<double>(Wall) / GuestInstrs : 0;
+  }
+  double syncPerGuest() const {
+    return GuestInstrs ? static_cast<double>(SyncInstrs) / GuestInstrs : 0;
+  }
+};
+
+inline uint32_t benchScale() {
+  if (const char *S = std::getenv("RDBT_BENCH_SCALE"))
+    return static_cast<uint32_t>(std::atoi(S) > 0 ? std::atoi(S) : 4);
+  return 4;
+}
+
+inline RunStats runWorkload(const std::string &Name, Config C,
+                            uint32_t Scale) {
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  RunStats S;
+  if (!guestsw::setupGuest(Board, Name, Scale))
+    return S;
+
+  if (C == Config::Native) {
+    const sys::SystemRunResult R =
+        sys::runSystemInterpreter(Board, 2000ull * 1000 * 1000);
+    S.Ok = R.Shutdown;
+    S.GuestInstrs = R.InstrsRetired;
+    S.Wall = R.InstrsRetired; // one cycle per instruction
+    return S;
+  }
+
+  ir::QemuTranslator Qemu;
+  rules::RuleSet RS = rules::buildReferenceRuleSet();
+  core::OptLevel Level = core::OptLevel::Scheduling;
+  switch (C) {
+  case Config::RuleBase: Level = core::OptLevel::Base; break;
+  case Config::RuleReduction: Level = core::OptLevel::Reduction; break;
+  case Config::RuleElimination: Level = core::OptLevel::Elimination; break;
+  default: break;
+  }
+  core::RuleTranslator Rule(RS, core::OptConfig::forLevel(Level));
+  dbt::Translator &Xlat =
+      (C == Config::Qemu) ? static_cast<dbt::Translator &>(Qemu)
+                          : static_cast<dbt::Translator &>(Rule);
+
+  dbt::DbtEngine Engine(Board, Xlat);
+  const dbt::StopReason Stop = Engine.run(400ull * 1000 * 1000 * 1000);
+  const host::ExecCounters &EC = Engine.counters();
+  S.Ok = Stop == dbt::StopReason::GuestShutdown;
+  S.Wall = EC.Wall;
+  S.GuestInstrs = EC.GuestInstrs;
+  S.MemInstrs = EC.GuestMemInstrs;
+  S.SysInstrs = EC.GuestSysInstrs;
+  S.IrqChecks = EC.IrqChecks;
+  S.SyncInstrs = EC.ByClass[static_cast<unsigned>(host::CostClass::Sync)];
+  S.SyncOps = EC.SyncOps;
+  S.HostInstrs = EC.Wall;
+  return S;
+}
+
+inline std::vector<std::string> specNames() {
+  std::vector<std::string> Names;
+  for (const auto &W : guestsw::workloads())
+    if (W.IsSpecProxy)
+      Names.push_back(W.Name);
+  return Names;
+}
+
+inline std::vector<std::string> realWorldNames() {
+  std::vector<std::string> Names;
+  for (const auto &W : guestsw::workloads())
+    if (W.IsRealWorld)
+      Names.push_back(W.Name);
+  return Names;
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (const double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+} // namespace bench
+} // namespace rdbt
+
+#endif // RDBT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,38 @@
+//===- bench/fig15_host_per_guest.cpp - Paper Fig. 15 -----------------------===//
+//
+// Part of RuleDBT. Reproduces Fig. 15: average host instructions (host
+// cycles, including helper-internal cost) needed per guest instruction
+// under the QEMU baseline and under the fully optimized rule-based
+// translator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace rdbt;
+using namespace rdbt::bench;
+
+int main() {
+  const uint32_t Scale = benchScale();
+  std::printf("Fig. 15: host instructions per guest instruction (scale %u)\n\n",
+              Scale);
+  std::printf("%-12s %12s %12s\n", "Benchmark", "qemu", "full-opt");
+
+  std::vector<double> Q, F;
+  for (const std::string &Name : specNames()) {
+    const RunStats SQ = runWorkload(Name, Config::Qemu, Scale);
+    const RunStats SF = runWorkload(Name, Config::RuleFull, Scale);
+    if (!SQ.Ok || !SF.Ok) {
+      std::printf("%-12s  FAILED\n", Name.c_str());
+      continue;
+    }
+    Q.push_back(SQ.hostPerGuest());
+    F.push_back(SF.hostPerGuest());
+    std::printf("%-12s %12.2f %12.2f\n", Name.c_str(), SQ.hostPerGuest(),
+                SF.hostPerGuest());
+  }
+  std::printf("%-12s %12.2f %12.2f   (-%.1f%%)\n", "GEOMEAN", geomean(Q),
+              geomean(F), 100.0 * (1.0 - geomean(F) / geomean(Q)));
+  std::printf("\npaper: qemu 17.39, full-opt 15.40 (-11.44%%)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/fig16_cumulative.cpp - Paper Fig. 16 ---------------------------===//
+//
+// Part of RuleDBT. Reproduces Fig. 16: cumulative speedup over QEMU as
+// each coordination optimization is added (Base, +Reduction,
+// +Elimination, +Scheduling).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace rdbt;
+using namespace rdbt::bench;
+
+int main() {
+  const uint32_t Scale = benchScale();
+  const Config Levels[] = {Config::RuleBase, Config::RuleReduction,
+                           Config::RuleElimination, Config::RuleFull};
+  std::printf("Fig. 16: cumulative speedup over QEMU (scale %u)\n\n", Scale);
+  std::printf("%-12s %10s %12s %13s %12s\n", "Benchmark", "base",
+              "+reduction", "+elimination", "+scheduling");
+
+  std::vector<double> Up[4];
+  for (const std::string &Name : specNames()) {
+    const RunStats Q = runWorkload(Name, Config::Qemu, Scale);
+    if (!Q.Ok) {
+      std::printf("%-12s  FAILED\n", Name.c_str());
+      continue;
+    }
+    double Sp[4] = {};
+    bool Ok = true;
+    for (int L = 0; L < 4; ++L) {
+      const RunStats R = runWorkload(Name, Levels[L], Scale);
+      Ok = Ok && R.Ok;
+      Sp[L] = Ok ? static_cast<double>(Q.Wall) / R.Wall : 0;
+      if (Ok)
+        Up[L].push_back(Sp[L]);
+    }
+    std::printf("%-12s %9.2fx %11.2fx %12.2fx %11.2fx\n", Name.c_str(),
+                Sp[0], Sp[1], Sp[2], Sp[3]);
+  }
+  std::printf("%-12s %9.2fx %11.2fx %12.2fx %11.2fx\n", "GEOMEAN",
+              geomean(Up[0]), geomean(Up[1]), geomean(Up[2]),
+              geomean(Up[3]));
+  std::printf("\npaper: base 0.95x, +reduction 1.22x, +elimination 1.30x, "
+              "+scheduling 1.36x\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/fig17_sync_per_guest.cpp - Paper Fig. 17 -----------------------===//
+//
+// Part of RuleDBT. Reproduces Fig. 17: host instructions spent on CPU
+// state coordination per guest instruction, for the four cumulative
+// optimization levels (sync_num * sync_overhead / guest_num, measured
+// directly from executed Sync-class instructions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace rdbt;
+using namespace rdbt::bench;
+
+int main() {
+  const uint32_t Scale = benchScale();
+  const Config Levels[] = {Config::RuleBase, Config::RuleReduction,
+                           Config::RuleElimination, Config::RuleFull};
+  std::printf("Fig. 17: sync host-instructions per guest instruction "
+              "(scale %u)\n\n", Scale);
+  std::printf("%-12s %10s %12s %13s %12s\n", "Benchmark", "base",
+              "+reduction", "+elimination", "+scheduling");
+
+  std::vector<double> Sync[4];
+  for (const std::string &Name : specNames()) {
+    double V[4] = {};
+    bool Ok = true;
+    for (int L = 0; L < 4; ++L) {
+      const RunStats R = runWorkload(Name, Levels[L], Scale);
+      Ok = Ok && R.Ok;
+      V[L] = R.syncPerGuest();
+      if (R.Ok)
+        Sync[L].push_back(V[L]);
+    }
+    if (!Ok) {
+      std::printf("%-12s  FAILED\n", Name.c_str());
+      continue;
+    }
+    std::printf("%-12s %10.2f %12.2f %13.2f %12.2f\n", Name.c_str(), V[0],
+                V[1], V[2], V[3]);
+  }
+  std::printf("%-12s %10.2f %12.2f %13.2f %12.2f\n", "GEOMEAN",
+              geomean(Sync[0]), geomean(Sync[1]), geomean(Sync[2]),
+              geomean(Sync[3]));
+  std::printf("\npaper: base 8.36, +reduction 1.79, +elimination 1.33, "
+              "+scheduling 0.89\n");
+  return 0;
+}

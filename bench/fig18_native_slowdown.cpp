@@ -1,0 +1,38 @@
+//===- bench/fig18_native_slowdown.cpp - Paper Fig. 18 ----------------------===//
+//
+// Part of RuleDBT. Reproduces Fig. 18: the slowdown of system-level
+// emulation relative to native execution (native = the reference
+// interpreter's guest instruction count at one cycle per instruction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace rdbt;
+using namespace rdbt::bench;
+
+int main() {
+  const uint32_t Scale = benchScale();
+  std::printf("Fig. 18: slowdown vs native execution (lower is better, "
+              "scale %u)\n\n", Scale);
+  std::printf("%-12s %12s %12s\n", "Benchmark", "qemu", "full-opt");
+
+  std::vector<double> Q, F;
+  for (const std::string &Name : specNames()) {
+    const RunStats N = runWorkload(Name, Config::Native, Scale);
+    const RunStats SQ = runWorkload(Name, Config::Qemu, Scale);
+    const RunStats SF = runWorkload(Name, Config::RuleFull, Scale);
+    if (!N.Ok || !SQ.Ok || !SF.Ok) {
+      std::printf("%-12s  FAILED\n", Name.c_str());
+      continue;
+    }
+    const double SlowQ = static_cast<double>(SQ.Wall) / N.Wall;
+    const double SlowF = static_cast<double>(SF.Wall) / N.Wall;
+    Q.push_back(SlowQ);
+    F.push_back(SlowF);
+    std::printf("%-12s %11.2fx %11.2fx\n", Name.c_str(), SlowQ, SlowF);
+  }
+  std::printf("%-12s %11.2fx %11.2fx\n", "GEOMEAN", geomean(Q), geomean(F));
+  std::printf("\npaper: qemu 18.73x, full-opt 13.83x\n");
+  return 0;
+}

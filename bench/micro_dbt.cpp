@@ -1,0 +1,135 @@
+//===- bench/micro_dbt.cpp - google-benchmark microbenchmarks ---------------===//
+//
+// Part of RuleDBT. Microbenchmarks of the translator infrastructure
+// itself (host-time, not simulated-guest-time): translation throughput
+// for both translators, rule matching, TLB fill, and the encoder/decoder
+// round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "arm/AsmBuilder.h"
+
+#include "arm/Decoder.h"
+#include "arm/Encoder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rdbt;
+
+namespace {
+
+dbt::GuestBlock sampleBlock(sys::Platform &Board) {
+  arm::AsmBuilder A(0x1000);
+  A.cmp(0, arm::Operand2::imm(0));
+  A.add(2, 3, arm::Operand2::reg(4));
+  A.ldr(5, 6, 8);
+  A.alu(arm::Opcode::EOR, 7, 7, arm::Operand2::imm(0xFF));
+  A.str(5, 6, 12);
+  A.sub(0, 0, arm::Operand2::imm(1), arm::Cond::AL, true);
+  A.b(A.hereLabel());
+  Board.Ram.loadWords(0x1000, A.finish());
+  sys::Mmu Mmu(Board.Env, Board);
+  dbt::GuestBlock GB;
+  sys::Fault F;
+  fetchGuestBlock(Mmu, 0x1000, 0, GB, F);
+  return GB;
+}
+
+void BM_QemuTranslate(benchmark::State &State) {
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  const dbt::GuestBlock GB = sampleBlock(Board);
+  ir::QemuTranslator Xlat;
+  for (auto _ : State) {
+    host::HostBlock Out;
+    Xlat.translate(GB, Out);
+    benchmark::DoNotOptimize(Out.Code.size());
+  }
+  State.SetItemsProcessed(State.iterations() * GB.Insts.size());
+}
+BENCHMARK(BM_QemuTranslate);
+
+void BM_RuleTranslate(benchmark::State &State) {
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  const dbt::GuestBlock GB = sampleBlock(Board);
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  core::RuleTranslator Xlat(RS,
+                            core::OptConfig::forLevel(
+                                core::OptLevel::Scheduling));
+  for (auto _ : State) {
+    host::HostBlock Out;
+    Xlat.translate(GB, Out);
+    benchmark::DoNotOptimize(Out.Code.size());
+  }
+  State.SetItemsProcessed(State.iterations() * GB.Insts.size());
+}
+BENCHMARK(BM_RuleTranslate);
+
+void BM_RuleMatch(benchmark::State &State) {
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  arm::Inst I;
+  I.Op = arm::Opcode::ADD;
+  I.Rd = 2;
+  I.Rn = 3;
+  I.Op2 = arm::Operand2::reg(4);
+  for (auto _ : State) {
+    rules::Binding B;
+    const rules::Rule *R = nullptr;
+    benchmark::DoNotOptimize(RS.match(&I, 1, &R, B));
+  }
+}
+BENCHMARK(BM_RuleMatch);
+
+void BM_EncodeDecodeRoundTrip(benchmark::State &State) {
+  arm::Inst I;
+  I.Op = arm::Opcode::ADD;
+  I.Rd = 2;
+  I.Rn = 3;
+  I.Op2 = arm::Operand2::shiftedReg(4, arm::ShiftKind::LSL, 7);
+  for (auto _ : State) {
+    const uint32_t W = arm::encode(I);
+    benchmark::DoNotOptimize(arm::decode(W).Op);
+  }
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void BM_TlbFill(benchmark::State &State) {
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  // Identity section for low memory so the walk succeeds.
+  Board.Ram.write(0x4000, 4, 0x00000000u | (1u << 10) | 2u);
+  Board.Env.Ttbr0 = 0x4000;
+  Board.Env.Sctlr = 1;
+  sys::Mmu Mmu(Board.Env, Board);
+  uint32_t Va = 0;
+  for (auto _ : State) {
+    sys::Fault F;
+    unsigned Walk = 0;
+    Mmu.flushTlb();
+    benchmark::DoNotOptimize(
+        Mmu.fillTlb(Va & 0xFFFFF, sys::AccessKind::Read, F, Walk));
+    Va += 0x1000;
+  }
+}
+BENCHMARK(BM_TlbFill);
+
+void BM_HostMachineExecution(benchmark::State &State) {
+  // End-to-end simulated execution speed: guest instructions per second
+  // of the full-opt rule engine on a small workload.
+  for (auto _ : State) {
+    sys::Platform Board(guestsw::KernelLayout::MinRam);
+    guestsw::setupGuest(Board, "libquantum", 1);
+    const rules::RuleSet RS = rules::buildReferenceRuleSet();
+    core::RuleTranslator Xlat(
+        RS, core::OptConfig::forLevel(core::OptLevel::Scheduling));
+    dbt::DbtEngine Engine(Board, Xlat);
+    Engine.run(~0ull);
+    State.SetItemsProcessed(State.items_processed() +
+                            Engine.counters().GuestInstrs);
+  }
+}
+BENCHMARK(BM_HostMachineExecution)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

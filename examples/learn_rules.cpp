@@ -1,0 +1,56 @@
+//===- examples/learn_rules.cpp - The learning pipeline, visibly ------------===//
+//
+// Part of RuleDBT. Walks one statement through the full learning pipeline
+// (compile both sides with line info, extract, verify symbolically,
+// parameterize), then learns a whole rule set from a generated corpus and
+// reports the statistics of §II-A.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Learner.h"
+
+#include <cstdio>
+
+using namespace rdbt;
+using namespace rdbt::rules;
+
+int main() {
+  std::printf("=== one statement through the pipeline ===\n");
+  TrainStmt S;
+  S.K = TrainStmt::Kind::Bin;
+  S.Op = arm::Opcode::SUB;
+  S.SetFlags = true;
+  S.D = 2;
+  S.A = 0;
+  S.B = 1;
+  std::printf("source line: v2 = v0 - v1 (flag-setting)\n");
+  std::printf("%s", describeStatement(S).c_str());
+
+  std::vector<Rule> Learned;
+  const LearnOutcome O = learnFromStatement(S, Learned);
+  std::printf("compiled: %s, verified: %s, parameterized: %s\n",
+              O.Compiled ? "yes" : "no", O.Verified ? "yes" : "no",
+              O.Parameterized ? "yes" : "no");
+  if (!Learned.empty()) {
+    std::printf("%s", ruleToString(Learned[0]).c_str());
+    for (const auto &[Pa, Pb] : Learned[0].Distinct)
+      std::printf("  constraint: param %d != param %d (from the aliasing "
+                  "audit)\n",
+                  Pa, Pb);
+  }
+
+  std::printf("\n=== learning from a %u-statement corpus ===\n", 1200u);
+  LearnStats Stats;
+  const RuleSet RS = learnRuleSet(1200, 0x5EED1, &Stats);
+  std::printf("statements:        %u\n", Stats.Statements);
+  std::printf("verified pairs:    %u\n", Stats.VerifiedPairs);
+  std::printf("rejected pairs:    %u\n", Stats.RejectedPairs);
+  std::printf("rules learned:     %u\n", Stats.RulesBeforeMerge);
+  std::printf("after class merge: %u  (the parameterization win of [2])\n",
+              Stats.RulesAfterMerge);
+
+  std::printf("\nfirst few learned rules:\n");
+  for (size_t I = 0; I < RS.size() && I < 6; ++I)
+    std::printf("%s", ruleToString(RS.rule(I)).c_str());
+  return 0;
+}

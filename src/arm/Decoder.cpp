@@ -1,0 +1,269 @@
+//===- arm/Decoder.cpp - ARM-v7 instruction decoder -----------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arm/Decoder.h"
+
+#include "arm/Encoder.h"
+
+using namespace rdbt;
+using namespace rdbt::arm;
+
+static Operand2 decodeRegShifter(uint32_t W) {
+  Operand2 O;
+  O.IsImm = false;
+  O.Rm = static_cast<uint8_t>(bits(W, 0, 4));
+  O.Shift = static_cast<ShiftKind>(bits(W, 5, 2));
+  if (bit(W, 4)) {
+    O.RegShift = true;
+    O.Rs = static_cast<uint8_t>(bits(W, 8, 4));
+  } else {
+    O.ShiftImm = static_cast<uint8_t>(bits(W, 7, 5));
+  }
+  return O;
+}
+
+static Inst decodeMultiply(uint32_t W, Cond C) {
+  Inst I;
+  I.C = C;
+  I.SetFlags = bit(W, 20);
+  I.Rm = static_cast<uint8_t>(bits(W, 0, 4));
+  I.Rs = static_cast<uint8_t>(bits(W, 8, 4));
+  if (bit(W, 23)) {
+    I.Op = bit(W, 22) ? Opcode::SMULL : Opcode::UMULL;
+    if (bit(W, 21))
+      return Inst(); // UMLAL/SMLAL unsupported
+    I.Rn = static_cast<uint8_t>(bits(W, 16, 4)); // RdHi
+    I.Rd = static_cast<uint8_t>(bits(W, 12, 4)); // RdLo
+    return I;
+  }
+  if (bit(W, 22))
+    return Inst(); // UMAAL and friends
+  I.Op = bit(W, 21) ? Opcode::MLA : Opcode::MUL;
+  I.Rd = static_cast<uint8_t>(bits(W, 16, 4));
+  if (I.Op == Opcode::MLA)
+    I.Rn = static_cast<uint8_t>(bits(W, 12, 4));
+  return I;
+}
+
+static Inst decodeHalfwordTransfer(uint32_t W, Cond C) {
+  // Only the SH=01 (halfword) encodings are modelled; signed loads decode
+  // to Invalid.
+  if (bits(W, 5, 2) != 1)
+    return Inst();
+  Inst I;
+  I.C = C;
+  I.Op = bit(W, 20) ? Opcode::LDRH : Opcode::STRH;
+  I.PreIndexed = bit(W, 24);
+  I.AddOffset = bit(W, 23);
+  I.Writeback = bit(W, 21);
+  I.Rn = static_cast<uint8_t>(bits(W, 16, 4));
+  I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+  if (bit(W, 22)) {
+    I.RegOffset = false;
+    I.Imm12 = static_cast<uint16_t>((bits(W, 8, 4) << 4) | bits(W, 0, 4));
+  } else {
+    I.RegOffset = true;
+    I.Op2 = Operand2::reg(static_cast<uint8_t>(bits(W, 0, 4)));
+  }
+  return I;
+}
+
+/// Decodes the "miscellaneous" space (bits 27:23 == 00010, bit 20 == 0):
+/// BX, CLZ, MRS, MSR.
+static Inst decodeMisc(uint32_t W, Cond C) {
+  Inst I;
+  I.C = C;
+  if ((W & 0x0FFFFFF0u) == 0x012FFF10u) {
+    I.Op = Opcode::BX;
+    I.Rm = static_cast<uint8_t>(bits(W, 0, 4));
+    return I;
+  }
+  if ((W & 0x0FFF0FF0u) == 0x016F0F10u) {
+    I.Op = Opcode::CLZ;
+    I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+    I.Rm = static_cast<uint8_t>(bits(W, 0, 4));
+    return I;
+  }
+  if ((W & 0x0FBF0FFFu) == 0x010F0000u) {
+    I.Op = Opcode::MRS;
+    I.PsrIsSpsr = bit(W, 22);
+    I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+    return I;
+  }
+  if ((W & 0x0FB0FFF0u) == 0x0120F000u) {
+    I.Op = Opcode::MSR;
+    I.PsrIsSpsr = bit(W, 22);
+    I.MsrMask = static_cast<uint8_t>(bits(W, 16, 4));
+    I.Rm = static_cast<uint8_t>(bits(W, 0, 4));
+    return I;
+  }
+  return Inst();
+}
+
+static Inst decodeDataProcessing(uint32_t W, Cond C, bool ImmForm) {
+  Inst I;
+  I.C = C;
+  I.Op = static_cast<Opcode>(bits(W, 21, 4));
+  I.SetFlags = bit(W, 20);
+  if (I.isCompare() && !I.SetFlags)
+    return Inst(); // falls in the misc/msr space, not plain DP
+  I.Rn = static_cast<uint8_t>(bits(W, 16, 4));
+  I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+  if (ImmForm) {
+    I.Op2.IsImm = true;
+    I.Op2.Rot = static_cast<uint8_t>(bits(W, 8, 4));
+    I.Op2.Imm8 = static_cast<uint8_t>(bits(W, 0, 8));
+  } else {
+    I.Op2 = decodeRegShifter(W);
+  }
+  return I;
+}
+
+static Inst decodeLoadStoreWordByte(uint32_t W, Cond C, bool RegForm) {
+  if (RegForm && bit(W, 4))
+    return Inst(); // media space (except UDF, matched earlier)
+  Inst I;
+  I.C = C;
+  const bool Byte = bit(W, 22);
+  const bool Load = bit(W, 20);
+  I.Op = Load ? (Byte ? Opcode::LDRB : Opcode::LDR)
+              : (Byte ? Opcode::STRB : Opcode::STR);
+  I.PreIndexed = bit(W, 24);
+  I.AddOffset = bit(W, 23);
+  I.Writeback = bit(W, 21);
+  I.Rn = static_cast<uint8_t>(bits(W, 16, 4));
+  I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+  if (RegForm) {
+    I.RegOffset = true;
+    I.Op2 = decodeRegShifter(W);
+    if (I.Op2.RegShift)
+      return Inst();
+  } else {
+    I.Imm12 = static_cast<uint16_t>(bits(W, 0, 12));
+  }
+  return I;
+}
+
+static Inst decodeBlockTransfer(uint32_t W, Cond C) {
+  Inst I;
+  I.C = C;
+  I.Op = bit(W, 20) ? Opcode::LDM : Opcode::STM;
+  I.BMode = static_cast<BlockMode>((bit(W, 24) << 1) | bit(W, 23));
+  I.UserBank = bit(W, 22);
+  I.Writeback = bit(W, 21);
+  I.Rn = static_cast<uint8_t>(bits(W, 16, 4));
+  I.RegList = static_cast<uint16_t>(bits(W, 0, 16));
+  return I;
+}
+
+static Inst decodeCoproc(uint32_t W, Cond C) {
+  if ((W & 0x0F000010u) != 0x0E000010u)
+    return Inst();
+  Inst I;
+  I.C = C;
+  const uint32_t Coproc = bits(W, 8, 4);
+  const bool IsMrc = bit(W, 20);
+  I.Rd = static_cast<uint8_t>(bits(W, 12, 4));
+  if (Coproc == 10) {
+    // VMRS/VMSR FPSCR (CRn == 1).
+    if (bits(W, 16, 4) != 1)
+      return Inst();
+    I.Op = IsMrc ? Opcode::VMRS : Opcode::VMSR;
+    return I;
+  }
+  if (Coproc != 15)
+    return Inst();
+  I.Op = IsMrc ? Opcode::MRC : Opcode::MCR;
+  I.SysReg = cp15FromSelector(static_cast<uint8_t>(bits(W, 21, 3)),
+                              static_cast<uint8_t>(bits(W, 16, 4)),
+                              static_cast<uint8_t>(bits(W, 0, 4)),
+                              static_cast<uint8_t>(bits(W, 5, 3)));
+  return I;
+}
+
+Inst arm::decode(uint32_t Word) {
+  const uint32_t CondField = bits(Word, 28, 4);
+  if (CondField == 0xF) {
+    // Unconditional space: only CPSIE/CPSID i is modelled.
+    if ((Word & 0x0FFF01FFu) == 0x01080080u ||
+        (Word & 0x0FFF01FFu) == 0x010C0080u) {
+      Inst I;
+      I.Op = Opcode::CPS;
+      I.C = Cond::NV;
+      I.CpsDisable = bits(Word, 18, 2) == 3;
+      return I;
+    }
+    return Inst();
+  }
+
+  const Cond C = static_cast<Cond>(CondField);
+  const uint32_t Top = bits(Word, 25, 3);
+
+  switch (Top) {
+  case 0: {
+    // Multiplies and extra load/stores live at bit7 == 1 && bit4 == 1.
+    if (bit(Word, 7) && bit(Word, 4)) {
+      if (bits(Word, 4, 4) == 0x9 && bits(Word, 24, 2) == 0)
+        return decodeMultiply(Word, C);
+      return decodeHalfwordTransfer(Word, C);
+    }
+    // Misc space: opcode 10xx with S == 0.
+    if (bits(Word, 23, 2) == 2 && !bit(Word, 20))
+      return decodeMisc(Word, C);
+    return decodeDataProcessing(Word, C, /*ImmForm=*/false);
+  }
+  case 1: {
+    // Hints (NOP/WFI) and MSR-immediate share opcode 10xx with S == 0.
+    if ((Word & 0x0FFFFFFFu) == 0x0320F000u) {
+      Inst I;
+      I.Op = Opcode::NOP;
+      I.C = C;
+      return I;
+    }
+    if ((Word & 0x0FFFFFFFu) == 0x0320F003u) {
+      Inst I;
+      I.Op = Opcode::WFI;
+      I.C = C;
+      return I;
+    }
+    if (bits(Word, 23, 2) == 2 && !bit(Word, 20))
+      return Inst(); // MSR immediate: not modelled
+    return decodeDataProcessing(Word, C, /*ImmForm=*/true);
+  }
+  case 2:
+    return decodeLoadStoreWordByte(Word, C, /*RegForm=*/false);
+  case 3:
+    if ((Word & 0x0FF000F0u) == 0x07F000F0u) {
+      Inst I;
+      I.Op = Opcode::UDF;
+      I.C = C;
+      I.Imm24 = (bits(Word, 8, 12) << 4) | bits(Word, 0, 4);
+      return I;
+    }
+    return decodeLoadStoreWordByte(Word, C, /*RegForm=*/true);
+  case 4:
+    return decodeBlockTransfer(Word, C);
+  case 5: {
+    Inst I;
+    I.C = C;
+    I.Op = bit(Word, 24) ? Opcode::BL : Opcode::B;
+    I.BranchOffset = signExtend32(bits(Word, 0, 24), 24) * 4;
+    return I;
+  }
+  case 6:
+    return Inst(); // LDC/STC unsupported
+  case 7:
+    if (bit(Word, 24)) {
+      Inst I;
+      I.C = C;
+      I.Op = Opcode::SVC;
+      I.Imm24 = bits(Word, 0, 24);
+      return I;
+    }
+    return decodeCoproc(Word, C);
+  }
+  return Inst();
+}

@@ -1,0 +1,30 @@
+//===- arm/Decoder.h - ARM-v7 instruction decoder ---------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes 32-bit ARM-v7 instruction words (as fetched from guest memory)
+/// into \ref rdbt::arm::Inst. Unsupported encodings decode to an Inst with
+/// Op == Opcode::Invalid, which the emulator turns into an undefined
+/// instruction exception — exactly how real hardware treats them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_ARM_DECODER_H
+#define RDBT_ARM_DECODER_H
+
+#include "arm/Isa.h"
+
+namespace rdbt {
+namespace arm {
+
+/// Decodes one instruction word. Never fails; unknown encodings yield
+/// Opcode::Invalid.
+Inst decode(uint32_t Word);
+
+} // namespace arm
+} // namespace rdbt
+
+#endif // RDBT_ARM_DECODER_H

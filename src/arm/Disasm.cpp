@@ -1,0 +1,175 @@
+//===- arm/Disasm.cpp - ARM-v7 disassembler -------------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arm/Disasm.h"
+
+#include "support/Format.h"
+
+using namespace rdbt;
+using namespace rdbt::arm;
+
+static std::string regName(uint8_t R) {
+  switch (R) {
+  case RegSP: return "sp";
+  case RegLR: return "lr";
+  case RegPC: return "pc";
+  default: return format("r%u", R);
+  }
+}
+
+static const char *shiftName(ShiftKind K) {
+  switch (K) {
+  case ShiftKind::LSL: return "lsl";
+  case ShiftKind::LSR: return "lsr";
+  case ShiftKind::ASR: return "asr";
+  case ShiftKind::ROR: return "ror";
+  }
+  return "?";
+}
+
+static std::string operand2Text(const Operand2 &O) {
+  if (O.IsImm)
+    return format("#0x%x", O.immValue());
+  std::string Text = regName(O.Rm);
+  if (O.RegShift)
+    return Text + format(", %s %s", shiftName(O.Shift),
+                         regName(O.Rs).c_str());
+  if (O.ShiftImm != 0 || O.Shift != ShiftKind::LSL)
+    Text += format(", %s #%u", shiftName(O.Shift), O.ShiftImm);
+  return Text;
+}
+
+static std::string regListText(uint16_t List) {
+  std::string Text = "{";
+  bool First = true;
+  for (unsigned R = 0; R < 16; ++R) {
+    if (!(List & (1u << R)))
+      continue;
+    if (!First)
+      Text += ", ";
+    Text += regName(static_cast<uint8_t>(R));
+    First = false;
+  }
+  return Text + "}";
+}
+
+static std::string addrText(const Inst &I) {
+  std::string Off;
+  if (I.RegOffset) {
+    Off = (I.AddOffset ? "" : "-") + operand2Text(I.Op2);
+  } else if (I.Imm12 != 0) {
+    Off = format("#%s0x%x", I.AddOffset ? "" : "-", I.Imm12);
+  }
+  if (!I.PreIndexed)
+    return format("[%s], %s", regName(I.Rn).c_str(),
+                  Off.empty() ? "#0" : Off.c_str());
+  if (Off.empty())
+    return format("[%s]", regName(I.Rn).c_str());
+  return format("[%s, %s]%s", regName(I.Rn).c_str(), Off.c_str(),
+                I.Writeback ? "!" : "");
+}
+
+std::string arm::disassemble(const Inst &I, uint32_t Pc) {
+  if (!I.isValid())
+    return "<invalid>";
+
+  // Mnemonic with condition and S suffix, in the paper's "cmp al" style.
+  std::string Mn = opcodeName(I.Op);
+  if (I.C != Cond::NV)
+    Mn += std::string(" ") + condName(I.C);
+  if (I.SetFlags && !I.isCompare() && I.isDataProcessing())
+    Mn += "s";
+
+  switch (I.Op) {
+  case Opcode::MOV:
+  case Opcode::MVN:
+    return format("%s %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  operand2Text(I.Op2).c_str());
+  case Opcode::TST:
+  case Opcode::TEQ:
+  case Opcode::CMP:
+  case Opcode::CMN:
+    return format("%s %s, %s", Mn.c_str(), regName(I.Rn).c_str(),
+                  operand2Text(I.Op2).c_str());
+  case Opcode::AND:
+  case Opcode::EOR:
+  case Opcode::SUB:
+  case Opcode::RSB:
+  case Opcode::ADD:
+  case Opcode::ADC:
+  case Opcode::SBC:
+  case Opcode::RSC:
+  case Opcode::ORR:
+  case Opcode::BIC:
+    return format("%s %s, %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  regName(I.Rn).c_str(), operand2Text(I.Op2).c_str());
+  case Opcode::MUL:
+    return format("%s %s, %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  regName(I.Rm).c_str(), regName(I.Rs).c_str());
+  case Opcode::MLA:
+    return format("%s %s, %s, %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  regName(I.Rm).c_str(), regName(I.Rs).c_str(),
+                  regName(I.Rn).c_str());
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    return format("%s %s, %s, %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  regName(I.Rn).c_str(), regName(I.Rm).c_str(),
+                  regName(I.Rs).c_str());
+  case Opcode::CLZ:
+    return format("%s %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  regName(I.Rm).c_str());
+  case Opcode::LDR:
+  case Opcode::STR:
+  case Opcode::LDRB:
+  case Opcode::STRB:
+  case Opcode::LDRH:
+  case Opcode::STRH:
+    return format("%s %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  addrText(I).c_str());
+  case Opcode::LDM:
+  case Opcode::STM: {
+    static const char *const ModeNames[] = {"da", "ia", "db", "ib"};
+    return format("%s%s %s%s, %s%s", opcodeName(I.Op),
+                  ModeNames[static_cast<unsigned>(I.BMode)],
+                  regName(I.Rn).c_str(), I.Writeback ? "!" : "",
+                  regListText(I.RegList).c_str(), I.UserBank ? "^" : "");
+  }
+  case Opcode::B:
+  case Opcode::BL:
+    return format("%s #0x%x", Mn.c_str(),
+                  Pc + 8 + static_cast<uint32_t>(I.BranchOffset));
+  case Opcode::BX:
+    return format("%s %s", Mn.c_str(), regName(I.Rm).c_str());
+  case Opcode::MRS:
+    return format("%s %s, %s", Mn.c_str(), regName(I.Rd).c_str(),
+                  I.PsrIsSpsr ? "spsr" : "cpsr");
+  case Opcode::MSR:
+    return format("%s %s_%s%s, %s", Mn.c_str(),
+                  I.PsrIsSpsr ? "spsr" : "cpsr",
+                  (I.MsrMask & 8) ? "f" : "", (I.MsrMask & 1) ? "c" : "",
+                  regName(I.Rm).c_str());
+  case Opcode::SVC:
+    return format("%s #0x%x", Mn.c_str(), I.Imm24);
+  case Opcode::CPS:
+    return format("cps%s i", I.CpsDisable ? "id" : "ie");
+  case Opcode::MCR:
+  case Opcode::MRC:
+    return format("%s p15, 0, %s, sysreg%u", Mn.c_str(),
+                  regName(I.Rd).c_str(), static_cast<unsigned>(I.SysReg));
+  case Opcode::VMRS:
+    return format("%s %s, fpscr", Mn.c_str(), regName(I.Rd).c_str());
+  case Opcode::VMSR:
+    return format("%s fpscr, %s", Mn.c_str(), regName(I.Rd).c_str());
+  case Opcode::WFI:
+  case Opcode::NOP:
+    return Mn;
+  case Opcode::UDF:
+    return format("%s #0x%x", Mn.c_str(), I.Imm24);
+  case Opcode::Invalid:
+    break;
+  }
+  return "<invalid>";
+}

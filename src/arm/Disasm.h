@@ -1,0 +1,31 @@
+//===- arm/Disasm.h - ARM-v7 disassembler -----------------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of decoded guest instructions in the style the paper's
+/// listings use ("cmp al r0, 0x0", "add eq r0, r1, r2"). Used by the
+/// examples, the translator debug dumps and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_ARM_DISASM_H
+#define RDBT_ARM_DISASM_H
+
+#include "arm/Isa.h"
+
+#include <string>
+
+namespace rdbt {
+namespace arm {
+
+/// Renders \p I as assembly text. \p Pc, when given, resolves branch
+/// targets to absolute addresses.
+std::string disassemble(const Inst &I, uint32_t Pc = 0);
+
+} // namespace arm
+} // namespace rdbt
+
+#endif // RDBT_ARM_DISASM_H

@@ -1,0 +1,309 @@
+//===- arm/Encoder.cpp - ARM-v7 instruction encoder -----------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arm/Encoder.h"
+
+#include <cassert>
+
+using namespace rdbt;
+using namespace rdbt::arm;
+
+static uint32_t condBits(Cond C) {
+  return static_cast<uint32_t>(C) << 28;
+}
+
+/// Encodes the shifter operand field (bits 11:0) of a register-form
+/// data-processing instruction or register-offset load/store.
+static uint32_t encodeRegShifter(const Operand2 &O) {
+  uint32_t W = O.Rm;
+  W |= static_cast<uint32_t>(O.Shift) << 5;
+  if (O.RegShift) {
+    W |= 1u << 4;
+    W |= static_cast<uint32_t>(O.Rs) << 8;
+  } else {
+    W |= static_cast<uint32_t>(O.ShiftImm) << 7;
+  }
+  return W;
+}
+
+bool arm::cp15Selector(Cp15Reg Reg, uint8_t &Opc1, uint8_t &Crn,
+                       uint8_t &Crm, uint8_t &Opc2) {
+  Opc1 = 0;
+  Opc2 = 0;
+  Crm = 0;
+  switch (Reg) {
+  case Cp15Reg::SCTLR:
+    Crn = 1;
+    return true;
+  case Cp15Reg::TTBR0:
+    Crn = 2;
+    return true;
+  case Cp15Reg::DACR:
+    Crn = 3;
+    return true;
+  case Cp15Reg::DFSR:
+    Crn = 5;
+    return true;
+  case Cp15Reg::IFSR:
+    Crn = 5;
+    Opc2 = 1;
+    return true;
+  case Cp15Reg::DFAR:
+    Crn = 6;
+    return true;
+  case Cp15Reg::VBAR:
+    Crn = 12;
+    return true;
+  case Cp15Reg::TLBIALL:
+    Crn = 8;
+    Crm = 7;
+    return true;
+  case Cp15Reg::Unknown:
+    return false;
+  }
+  return false;
+}
+
+Cp15Reg arm::cp15FromSelector(uint8_t Opc1, uint8_t Crn, uint8_t Crm,
+                              uint8_t Opc2) {
+  if (Opc1 != 0)
+    return Cp15Reg::Unknown;
+  if (Crn == 1 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::SCTLR;
+  if (Crn == 2 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::TTBR0;
+  if (Crn == 3 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::DACR;
+  if (Crn == 5 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::DFSR;
+  if (Crn == 5 && Crm == 0 && Opc2 == 1)
+    return Cp15Reg::IFSR;
+  if (Crn == 6 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::DFAR;
+  if (Crn == 12 && Crm == 0 && Opc2 == 0)
+    return Cp15Reg::VBAR;
+  if (Crn == 8 && Crm == 7 && Opc2 == 0)
+    return Cp15Reg::TLBIALL;
+  return Cp15Reg::Unknown;
+}
+
+static uint32_t encodeDataProcessing(const Inst &I) {
+  uint32_t W = condBits(I.C);
+  W |= static_cast<uint32_t>(I.Op) << 21;
+  if (I.SetFlags || I.isCompare())
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(I.Rn) << 16;
+  W |= static_cast<uint32_t>(I.Rd) << 12;
+  if (I.Op2.IsImm) {
+    W |= 1u << 25;
+    W |= static_cast<uint32_t>(I.Op2.Rot) << 8;
+    W |= I.Op2.Imm8;
+  } else {
+    W |= encodeRegShifter(I.Op2);
+  }
+  return W;
+}
+
+static uint32_t encodeMultiply(const Inst &I) {
+  uint32_t W = condBits(I.C) | 0x90u;
+  if (I.SetFlags)
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(I.Rs) << 8;
+  W |= I.Rm;
+  switch (I.Op) {
+  case Opcode::MUL:
+    W |= static_cast<uint32_t>(I.Rd) << 16;
+    break;
+  case Opcode::MLA:
+    W |= 1u << 21;
+    W |= static_cast<uint32_t>(I.Rd) << 16;
+    W |= static_cast<uint32_t>(I.Rn) << 12;
+    break;
+  case Opcode::UMULL:
+    W |= 1u << 23;
+    W |= static_cast<uint32_t>(I.Rn) << 16; // RdHi
+    W |= static_cast<uint32_t>(I.Rd) << 12; // RdLo
+    break;
+  case Opcode::SMULL:
+    W |= (1u << 23) | (1u << 22);
+    W |= static_cast<uint32_t>(I.Rn) << 16;
+    W |= static_cast<uint32_t>(I.Rd) << 12;
+    break;
+  default:
+    assert(false && "not a multiply");
+  }
+  return W;
+}
+
+static uint32_t encodeLoadStoreWordByte(const Inst &I) {
+  uint32_t W = condBits(I.C) | (1u << 26);
+  if (I.PreIndexed)
+    W |= 1u << 24;
+  if (I.AddOffset)
+    W |= 1u << 23;
+  if (I.Op == Opcode::LDRB || I.Op == Opcode::STRB)
+    W |= 1u << 22;
+  if (I.Writeback)
+    W |= 1u << 21;
+  if (I.isLoad())
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(I.Rn) << 16;
+  W |= static_cast<uint32_t>(I.Rd) << 12;
+  if (I.RegOffset) {
+    assert(!I.Op2.RegShift && "load/store offset cannot be reg-shifted");
+    W |= 1u << 25;
+    W |= encodeRegShifter(I.Op2);
+  } else {
+    assert(I.Imm12 < 4096 && "ldr/str immediate out of range");
+    W |= I.Imm12;
+  }
+  return W;
+}
+
+static uint32_t encodeLoadStoreHalf(const Inst &I) {
+  uint32_t W = condBits(I.C) | 0xB0u;
+  if (I.PreIndexed)
+    W |= 1u << 24;
+  if (I.AddOffset)
+    W |= 1u << 23;
+  if (I.Writeback)
+    W |= 1u << 21;
+  if (I.Op == Opcode::LDRH)
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(I.Rn) << 16;
+  W |= static_cast<uint32_t>(I.Rd) << 12;
+  if (I.RegOffset) {
+    assert(I.Op2.ShiftImm == 0 && !I.Op2.RegShift &&
+           "halfword reg offset cannot be shifted");
+    W |= I.Op2.Rm;
+  } else {
+    assert(I.Imm12 < 256 && "ldrh/strh immediate out of range");
+    W |= 1u << 22;
+    W |= (static_cast<uint32_t>(I.Imm12) & 0xF0u) << 4;
+    W |= I.Imm12 & 0x0Fu;
+  }
+  return W;
+}
+
+static uint32_t encodeBlockTransfer(const Inst &I) {
+  uint32_t W = condBits(I.C) | (1u << 27);
+  const auto Mode = static_cast<uint32_t>(I.BMode);
+  W |= (Mode & 2u) ? (1u << 24) : 0; // P
+  W |= (Mode & 1u) ? (1u << 23) : 0; // U
+  if (I.UserBank)
+    W |= 1u << 22;
+  if (I.Writeback)
+    W |= 1u << 21;
+  if (I.Op == Opcode::LDM)
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(I.Rn) << 16;
+  W |= I.RegList;
+  return W;
+}
+
+static uint32_t encodeBranch(const Inst &I) {
+  uint32_t W = condBits(I.C) | (5u << 25);
+  if (I.Op == Opcode::BL)
+    W |= 1u << 24;
+  assert((I.BranchOffset & 3) == 0 && "branch offset must be word aligned");
+  W |= (static_cast<uint32_t>(I.BranchOffset) >> 2) & 0x00FFFFFFu;
+  return W;
+}
+
+static uint32_t encodeCoprocMove(const Inst &I) {
+  if (I.Op == Opcode::VMRS)
+    return condBits(I.C) | 0x0EF10A10u | (static_cast<uint32_t>(I.Rd) << 12);
+  if (I.Op == Opcode::VMSR)
+    return condBits(I.C) | 0x0EE10A10u | (static_cast<uint32_t>(I.Rd) << 12);
+  uint8_t Opc1 = 0, Crn = 0, Crm = 0, Opc2 = 0;
+  [[maybe_unused]] const bool Known =
+      cp15Selector(I.SysReg, Opc1, Crn, Crm, Opc2);
+  assert(Known && "cannot encode unknown cp15 register");
+  uint32_t W = condBits(I.C) | (0xEu << 24) | 0x10u | (15u << 8);
+  if (I.Op == Opcode::MRC)
+    W |= 1u << 20;
+  W |= static_cast<uint32_t>(Opc1) << 21;
+  W |= static_cast<uint32_t>(Crn) << 16;
+  W |= static_cast<uint32_t>(I.Rd) << 12;
+  W |= static_cast<uint32_t>(Opc2) << 5;
+  W |= Crm;
+  return W;
+}
+
+uint32_t arm::encode(const Inst &I) {
+  switch (I.Op) {
+  case Opcode::AND:
+  case Opcode::EOR:
+  case Opcode::SUB:
+  case Opcode::RSB:
+  case Opcode::ADD:
+  case Opcode::ADC:
+  case Opcode::SBC:
+  case Opcode::RSC:
+  case Opcode::TST:
+  case Opcode::TEQ:
+  case Opcode::CMP:
+  case Opcode::CMN:
+  case Opcode::ORR:
+  case Opcode::MOV:
+  case Opcode::BIC:
+  case Opcode::MVN:
+    return encodeDataProcessing(I);
+  case Opcode::MUL:
+  case Opcode::MLA:
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    return encodeMultiply(I);
+  case Opcode::CLZ:
+    return condBits(I.C) | 0x016F0F10u | (static_cast<uint32_t>(I.Rd) << 12) |
+           I.Rm;
+  case Opcode::LDR:
+  case Opcode::STR:
+  case Opcode::LDRB:
+  case Opcode::STRB:
+    return encodeLoadStoreWordByte(I);
+  case Opcode::LDRH:
+  case Opcode::STRH:
+    return encodeLoadStoreHalf(I);
+  case Opcode::LDM:
+  case Opcode::STM:
+    return encodeBlockTransfer(I);
+  case Opcode::B:
+  case Opcode::BL:
+    return encodeBranch(I);
+  case Opcode::BX:
+    return condBits(I.C) | 0x012FFF10u | I.Rm;
+  case Opcode::MRS:
+    return condBits(I.C) | 0x010F0000u |
+           (I.PsrIsSpsr ? (1u << 22) : 0u) |
+           (static_cast<uint32_t>(I.Rd) << 12);
+  case Opcode::MSR:
+    return condBits(I.C) | 0x0120F000u |
+           (I.PsrIsSpsr ? (1u << 22) : 0u) |
+           (static_cast<uint32_t>(I.MsrMask & 0xF) << 16) | I.Rm;
+  case Opcode::SVC:
+    return condBits(I.C) | (0xFu << 24) | (I.Imm24 & 0x00FFFFFFu);
+  case Opcode::CPS:
+    // CPSIE/CPSID i: unconditional space, imod = 0b10 (enable) or 0b11
+    // (disable), the I mask bit set.
+    return 0xF1000000u | ((I.CpsDisable ? 3u : 2u) << 18) | (1u << 7);
+  case Opcode::MCR:
+  case Opcode::MRC:
+  case Opcode::VMRS:
+  case Opcode::VMSR:
+    return encodeCoprocMove(I);
+  case Opcode::WFI:
+    return condBits(I.C) | 0x0320F003u;
+  case Opcode::NOP:
+    return condBits(I.C) | 0x0320F000u;
+  case Opcode::UDF:
+    return 0xE7F000F0u | ((I.Imm24 & 0xFFF0u) << 4) | (I.Imm24 & 0xFu);
+  case Opcode::Invalid:
+    break;
+  }
+  assert(false && "cannot encode invalid instruction");
+  return 0;
+}

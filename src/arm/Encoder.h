@@ -1,0 +1,39 @@
+//===- arm/Encoder.h - ARM-v7 instruction encoder ---------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes decoded \ref rdbt::arm::Inst values to the real ARM-v7 32-bit
+/// instruction words stored in guest memory. The decoder (Decoder.h)
+/// inverts this mapping; round-tripping is covered by property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_ARM_ENCODER_H
+#define RDBT_ARM_ENCODER_H
+
+#include "arm/Isa.h"
+
+namespace rdbt {
+namespace arm {
+
+/// Encodes \p I to its ARM-v7 instruction word. Asserts on fields that are
+/// out of encodable range (the assembler builder validates earlier).
+uint32_t encode(const Inst &I);
+
+/// Maps a modelled CP15 register to its (opc1, CRn, CRm, opc2) selector.
+/// \returns false for Cp15Reg::Unknown.
+bool cp15Selector(Cp15Reg Reg, uint8_t &Opc1, uint8_t &Crn, uint8_t &Crm,
+                  uint8_t &Opc2);
+
+/// Maps an (opc1, CRn, CRm, opc2) selector back to a modelled CP15
+/// register, or Cp15Reg::Unknown.
+Cp15Reg cp15FromSelector(uint8_t Opc1, uint8_t Crn, uint8_t Crm,
+                         uint8_t Opc2);
+
+} // namespace arm
+} // namespace rdbt
+
+#endif // RDBT_ARM_ENCODER_H

@@ -1,0 +1,217 @@
+//===- arm/Isa.cpp - ARM-v7 guest instruction model -----------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arm/Isa.h"
+
+#include <cassert>
+
+using namespace rdbt;
+using namespace rdbt::arm;
+
+Cond arm::invert(Cond C) {
+  assert(C != Cond::AL && C != Cond::NV && "AL/NV have no inverse");
+  // Conditions come in adjacent true/false pairs; flipping bit 0 inverts.
+  return static_cast<Cond>(static_cast<uint8_t>(C) ^ 1u);
+}
+
+Operand2 Operand2::imm(uint32_t Value) {
+  Operand2 O;
+  O.IsImm = true;
+  [[maybe_unused]] const bool Ok = encodeArmImmediate(Value, O.Imm8, O.Rot);
+  assert(Ok && "value is not an encodable ARM immediate");
+  return O;
+}
+
+Operand2 Operand2::reg(uint8_t Rm) {
+  Operand2 O;
+  O.IsImm = false;
+  O.Rm = Rm;
+  return O;
+}
+
+Operand2 Operand2::shiftedReg(uint8_t Rm, ShiftKind Kind, uint8_t Amount) {
+  assert(Amount < 32 && "shift amount out of range");
+  Operand2 O;
+  O.IsImm = false;
+  O.Rm = Rm;
+  O.Shift = Kind;
+  O.ShiftImm = Amount;
+  return O;
+}
+
+Operand2 Operand2::regShiftedReg(uint8_t Rm, ShiftKind Kind, uint8_t Rs) {
+  Operand2 O;
+  O.IsImm = false;
+  O.Rm = Rm;
+  O.Shift = Kind;
+  O.RegShift = true;
+  O.Rs = Rs;
+  return O;
+}
+
+static uint16_t regBit(uint8_t R) {
+  return R < 15 ? static_cast<uint16_t>(1u << R) : 0;
+}
+
+uint16_t arm::regsRead(const Inst &I) {
+  uint16_t Mask = 0;
+  const auto Op2Regs = [&I]() -> uint16_t {
+    if (I.Op2.IsImm)
+      return 0;
+    uint16_t M = regBit(I.Op2.Rm);
+    if (I.Op2.RegShift)
+      M |= regBit(I.Op2.Rs);
+    return M;
+  };
+  if (I.isDataProcessing()) {
+    if (I.Op != Opcode::MOV && I.Op != Opcode::MVN)
+      Mask |= regBit(I.Rn);
+    Mask |= Op2Regs();
+    return Mask;
+  }
+  switch (I.Op) {
+  case Opcode::MUL:
+    return regBit(I.Rm) | regBit(I.Rs);
+  case Opcode::MLA:
+    return regBit(I.Rm) | regBit(I.Rs) | regBit(I.Rn);
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    return regBit(I.Rm) | regBit(I.Rs);
+  case Opcode::CLZ:
+    return regBit(I.Rm);
+  case Opcode::LDR:
+  case Opcode::LDRB:
+  case Opcode::LDRH:
+    return regBit(I.Rn) | (I.RegOffset ? Op2Regs() : 0);
+  case Opcode::STR:
+  case Opcode::STRB:
+  case Opcode::STRH:
+    return regBit(I.Rn) | regBit(I.Rd) | (I.RegOffset ? Op2Regs() : 0);
+  case Opcode::LDM:
+    return regBit(I.Rn);
+  case Opcode::STM:
+    return regBit(I.Rn) | static_cast<uint16_t>(I.RegList & 0x7FFF);
+  case Opcode::BX:
+    return regBit(I.Rm);
+  case Opcode::MSR:
+  case Opcode::VMSR:
+    return regBit(I.Rm) | (I.Op == Opcode::VMSR ? regBit(I.Rd) : 0);
+  case Opcode::MCR:
+    return regBit(I.Rd);
+  default:
+    return 0;
+  }
+}
+
+uint16_t arm::regsWritten(const Inst &I) {
+  if (I.isDataProcessing())
+    return I.isCompare() ? 0 : regBit(I.Rd);
+  switch (I.Op) {
+  case Opcode::MUL:
+  case Opcode::MLA:
+  case Opcode::CLZ:
+    return regBit(I.Rd);
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    return regBit(I.Rd) | regBit(I.Rn);
+  case Opcode::LDR:
+  case Opcode::LDRB:
+  case Opcode::LDRH:
+    return regBit(I.Rd) |
+           ((!I.PreIndexed || I.Writeback) ? regBit(I.Rn) : 0);
+  case Opcode::STR:
+  case Opcode::STRB:
+  case Opcode::STRH:
+    return (!I.PreIndexed || I.Writeback) ? regBit(I.Rn) : 0;
+  case Opcode::LDM:
+    return static_cast<uint16_t>(I.RegList & 0x7FFF) |
+           (I.Writeback ? regBit(I.Rn) : 0);
+  case Opcode::STM:
+    return I.Writeback ? regBit(I.Rn) : 0;
+  case Opcode::BL:
+    return regBit(14);
+  case Opcode::MRS:
+  case Opcode::MRC:
+  case Opcode::VMRS:
+    return regBit(I.Rd);
+  default:
+    return 0;
+  }
+}
+
+const char *arm::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::AND: return "and";
+  case Opcode::EOR: return "eor";
+  case Opcode::SUB: return "sub";
+  case Opcode::RSB: return "rsb";
+  case Opcode::ADD: return "add";
+  case Opcode::ADC: return "adc";
+  case Opcode::SBC: return "sbc";
+  case Opcode::RSC: return "rsc";
+  case Opcode::TST: return "tst";
+  case Opcode::TEQ: return "teq";
+  case Opcode::CMP: return "cmp";
+  case Opcode::CMN: return "cmn";
+  case Opcode::ORR: return "orr";
+  case Opcode::MOV: return "mov";
+  case Opcode::BIC: return "bic";
+  case Opcode::MVN: return "mvn";
+  case Opcode::MUL: return "mul";
+  case Opcode::MLA: return "mla";
+  case Opcode::UMULL: return "umull";
+  case Opcode::SMULL: return "smull";
+  case Opcode::CLZ: return "clz";
+  case Opcode::LDR: return "ldr";
+  case Opcode::STR: return "str";
+  case Opcode::LDRB: return "ldrb";
+  case Opcode::STRB: return "strb";
+  case Opcode::LDRH: return "ldrh";
+  case Opcode::STRH: return "strh";
+  case Opcode::LDM: return "ldm";
+  case Opcode::STM: return "stm";
+  case Opcode::B: return "b";
+  case Opcode::BL: return "bl";
+  case Opcode::BX: return "bx";
+  case Opcode::MRS: return "mrs";
+  case Opcode::MSR: return "msr";
+  case Opcode::SVC: return "svc";
+  case Opcode::CPS: return "cps";
+  case Opcode::MCR: return "mcr";
+  case Opcode::MRC: return "mrc";
+  case Opcode::VMRS: return "vmrs";
+  case Opcode::VMSR: return "vmsr";
+  case Opcode::WFI: return "wfi";
+  case Opcode::NOP: return "nop";
+  case Opcode::UDF: return "udf";
+  case Opcode::Invalid: return "<invalid>";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+const char *arm::condName(Cond C) {
+  switch (C) {
+  case Cond::EQ: return "eq";
+  case Cond::NE: return "ne";
+  case Cond::CS: return "cs";
+  case Cond::CC: return "cc";
+  case Cond::MI: return "mi";
+  case Cond::PL: return "pl";
+  case Cond::VS: return "vs";
+  case Cond::VC: return "vc";
+  case Cond::HI: return "hi";
+  case Cond::LS: return "ls";
+  case Cond::GE: return "ge";
+  case Cond::LT: return "lt";
+  case Cond::GT: return "gt";
+  case Cond::LE: return "le";
+  case Cond::AL: return "al";
+  case Cond::NV: return "nv";
+  }
+  assert(false && "unknown condition");
+  return "<bad>";
+}

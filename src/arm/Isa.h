@@ -1,0 +1,358 @@
+//===- arm/Isa.h - ARM-v7 guest instruction model ---------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest instruction set model: an ARM-v7(A) subset covering everything
+/// the paper's system-level evaluation exercises — the full data-processing
+/// group, multiplies, loads/stores (including block transfers), branches,
+/// status-register moves, and the privileged instructions the paper uses as
+/// running examples (vmsr/vmrs, cps, mcr/mrc, svc, wfi, exception returns).
+///
+/// Instructions are held in a decoded struct form (\ref Inst). The binary
+/// encoder/decoder (Encoder.h / Decoder.h) round-trip this form to the real
+/// ARM-v7 32-bit encodings that live in guest memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_ARM_ISA_H
+#define RDBT_ARM_ISA_H
+
+#include "support/Bits.h"
+
+#include <cstdint>
+
+namespace rdbt {
+namespace arm {
+
+/// ARM condition codes, in encoding order (bits 31:28).
+enum class Cond : uint8_t {
+  EQ = 0,  ///< Z set
+  NE = 1,  ///< Z clear
+  CS = 2,  ///< C set (unsigned >=)
+  CC = 3,  ///< C clear (unsigned <)
+  MI = 4,  ///< N set
+  PL = 5,  ///< N clear
+  VS = 6,  ///< V set
+  VC = 7,  ///< V clear
+  HI = 8,  ///< C set and Z clear (unsigned >)
+  LS = 9,  ///< C clear or Z set (unsigned <=)
+  GE = 10, ///< N == V
+  LT = 11, ///< N != V
+  GT = 12, ///< Z clear and N == V
+  LE = 13, ///< Z set or N != V
+  AL = 14, ///< always
+  NV = 15, ///< encoding space for unconditional instructions (e.g. cps)
+};
+
+/// Returns the logical negation of a condition (EQ <-> NE, ...).
+/// AL/NV are not invertible and must not be passed.
+Cond invert(Cond C);
+
+/// General-purpose register numbers. SP/LR/PC are r13/r14/r15.
+enum : uint8_t { RegSP = 13, RegLR = 14, RegPC = 15 };
+
+/// Instruction opcodes. The first 16 match the ARM data-processing opcode
+/// field encoding (bits 24:21).
+enum class Opcode : uint8_t {
+  // Data-processing, in encoding order.
+  AND = 0,
+  EOR = 1,
+  SUB = 2,
+  RSB = 3,
+  ADD = 4,
+  ADC = 5,
+  SBC = 6,
+  RSC = 7,
+  TST = 8,
+  TEQ = 9,
+  CMP = 10,
+  CMN = 11,
+  ORR = 12,
+  MOV = 13,
+  BIC = 14,
+  MVN = 15,
+  // Multiplies and CLZ.
+  MUL,
+  MLA,
+  UMULL,
+  SMULL,
+  CLZ,
+  // Loads and stores.
+  LDR,
+  STR,
+  LDRB,
+  STRB,
+  LDRH,
+  STRH,
+  LDM,
+  STM,
+  // Branches.
+  B,
+  BL,
+  BX,
+  // Status register moves.
+  MRS,
+  MSR,
+  // System-level / privileged.
+  SVC,
+  CPS,
+  MCR,
+  MRC,
+  VMRS,
+  VMSR,
+  WFI,
+  // Misc.
+  NOP,
+  UDF,
+  Invalid,
+};
+
+/// Shift kinds for the register form of operand 2 (encoding order).
+enum class ShiftKind : uint8_t { LSL = 0, LSR = 1, ASR = 2, ROR = 3 };
+
+/// Block-transfer addressing modes for LDM/STM, as (P,U) bit pairs.
+enum class BlockMode : uint8_t {
+  DA = 0, ///< decrement after  (P=0, U=0)
+  IA = 1, ///< increment after  (P=0, U=1)
+  DB = 2, ///< decrement before (P=1, U=0)
+  IB = 3, ///< increment before (P=1, U=1)
+};
+
+/// The flexible second operand of data-processing instructions, and the
+/// (optionally shifted) register offset of loads/stores.
+struct Operand2 {
+  bool IsImm = true;      ///< immediate vs (shifted) register
+  uint8_t Imm8 = 0;       ///< immediate: 8-bit value...
+  uint8_t Rot = 0;        ///< ...rotated right by 2*Rot
+  uint8_t Rm = 0;         ///< register form: base register
+  ShiftKind Shift = ShiftKind::LSL;
+  uint8_t ShiftImm = 0;   ///< shift amount (0..31); LSR/ASR #0 encode #32
+  bool RegShift = false;  ///< shift amount in register Rs instead
+  uint8_t Rs = 0;
+
+  /// Value of an immediate operand (Imm8 rotated right by 2*Rot).
+  uint32_t immValue() const { return rotr32(Imm8, 2u * Rot); }
+
+  /// Builds an immediate operand from a value that must be encodable.
+  static Operand2 imm(uint32_t Value);
+
+  /// Builds a plain register operand.
+  static Operand2 reg(uint8_t Rm);
+
+  /// Builds a register operand shifted by an immediate amount.
+  static Operand2 shiftedReg(uint8_t Rm, ShiftKind Kind, uint8_t Amount);
+
+  /// Builds a register operand shifted by a register amount.
+  static Operand2 regShiftedReg(uint8_t Rm, ShiftKind Kind, uint8_t Rs);
+};
+
+/// CP15 system-register identifiers we model, as (CRn, opc2) selectors of
+/// the MCR/MRC p15 space. See Sys.h for the register semantics.
+enum class Cp15Reg : uint8_t {
+  SCTLR,   ///< c1, 0, c0: system control (MMU enable bit M)
+  TTBR0,   ///< c2, 0, c0: translation table base
+  DACR,    ///< c3, 0, c0: domain access control
+  DFSR,    ///< c5, 0, c0: data fault status
+  IFSR,    ///< c5, 0, c1: instruction fault status
+  DFAR,    ///< c6, 0, c0: data fault address
+  VBAR,    ///< c12, 0, c0: vector base address
+  TLBIALL, ///< c8, 0, c7: TLB invalidate all (write-only)
+  Unknown,
+};
+
+/// A decoded guest instruction. One struct covers all groups; which fields
+/// are meaningful depends on Op (see the per-group builder functions in
+/// AsmBuilder.h and the encoder/decoder).
+struct Inst {
+  Opcode Op = Opcode::Invalid;
+  Cond C = Cond::AL;
+  bool SetFlags = false; ///< the S bit (always true for CMP/CMN/TST/TEQ)
+
+  uint8_t Rd = 0; ///< destination (RdLo for long multiplies; Rt for mcr/mrc)
+  uint8_t Rn = 0; ///< first operand / base register (RdHi for long multiply)
+  uint8_t Rm = 0; ///< second register operand (multiplies, BX, CLZ)
+  uint8_t Rs = 0; ///< third register operand (multiplies)
+  Operand2 Op2;   ///< data-processing operand 2 / load-store register offset
+
+  // Load/store single fields.
+  bool PreIndexed = true; ///< P bit
+  bool AddOffset = true;  ///< U bit
+  bool Writeback = false; ///< W bit
+  bool RegOffset = false; ///< register (Op2) vs immediate (Imm12) offset
+  uint16_t Imm12 = 0;     ///< unsigned immediate offset (Imm8 range for H)
+
+  // Block transfer fields.
+  uint16_t RegList = 0; ///< LDM/STM register bitmask
+  BlockMode BMode = BlockMode::IA;
+  bool UserBank = false; ///< the S bit (^): LDM with PC restores CPSR
+
+  // Branch fields.
+  int32_t BranchOffset = 0; ///< byte offset relative to the branch PC+8
+
+  // System fields.
+  uint32_t Imm24 = 0;        ///< SVC comment field / UDF immediate
+  Cp15Reg SysReg = Cp15Reg::Unknown; ///< MCR/MRC target
+  bool PsrIsSpsr = false;    ///< MRS/MSR: SPSR instead of CPSR
+  uint8_t MsrMask = 0x9;     ///< MSR field mask (bit3 = flags, bit0 = ctrl)
+  bool CpsDisable = false;   ///< CPSID vs CPSIE (I bit only)
+
+  bool isValid() const { return Op != Opcode::Invalid; }
+
+  /// True for the data-processing group (AND..MVN).
+  bool isDataProcessing() const {
+    return static_cast<uint8_t>(Op) <= static_cast<uint8_t>(Opcode::MVN);
+  }
+
+  /// True for compare-type data-processing ops (no Rd, flags only).
+  bool isCompare() const {
+    return Op == Opcode::TST || Op == Opcode::TEQ || Op == Opcode::CMP ||
+           Op == Opcode::CMN;
+  }
+
+  /// True for single-register memory accesses.
+  bool isLoadStoreSingle() const {
+    switch (Op) {
+    case Opcode::LDR:
+    case Opcode::STR:
+    case Opcode::LDRB:
+    case Opcode::STRB:
+    case Opcode::LDRH:
+    case Opcode::STRH:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// True for any guest memory access (single or block).
+  bool isMemAccess() const {
+    return isLoadStoreSingle() || Op == Opcode::LDM || Op == Opcode::STM;
+  }
+
+  bool isLoad() const {
+    return Op == Opcode::LDR || Op == Opcode::LDRB || Op == Opcode::LDRH ||
+           Op == Opcode::LDM;
+  }
+
+  /// True for instructions that must be emulated by a helper function at
+  /// system level (the paper's "system-level instructions"), including
+  /// status-register moves and exception returns.
+  bool isSystemLevel() const {
+    switch (Op) {
+    case Opcode::SVC:
+    case Opcode::CPS:
+    case Opcode::MCR:
+    case Opcode::MRC:
+    case Opcode::VMRS:
+    case Opcode::VMSR:
+    case Opcode::WFI:
+    case Opcode::MRS:
+    case Opcode::MSR:
+    case Opcode::UDF:
+      return true;
+    default:
+      // Exception returns: flag-setting writes to PC (movs pc, lr; subs
+      // pc, lr, #4) and LDM with the user-bank/CPSR-restore S bit.
+      if (isDataProcessing() && SetFlags && !isCompare() && Rd == RegPC)
+        return true;
+      if (Op == Opcode::LDM && UserBank)
+        return true;
+      return false;
+    }
+  }
+
+  /// True for direct branches (B/BL); BX is an indirect branch.
+  bool isDirectBranch() const { return Op == Opcode::B || Op == Opcode::BL; }
+
+  /// True if executing this instruction ends a translation block.
+  bool endsBlock() const {
+    if (Op == Opcode::B || Op == Opcode::BL || Op == Opcode::BX ||
+        Op == Opcode::SVC || Op == Opcode::UDF || Op == Opcode::WFI)
+      return true;
+    // Any write to PC ends the block.
+    if (isDataProcessing() && !isCompare() && Rd == RegPC)
+      return true;
+    if (Op == Opcode::LDR && Rd == RegPC)
+      return true;
+    if (Op == Opcode::LDM && (RegList & (1u << RegPC)))
+      return true;
+    return false;
+  }
+
+  /// True if the instruction writes the NZCV flags.
+  bool definesFlags() const {
+    if (isCompare())
+      return true;
+    if (SetFlags && (isDataProcessing() || Op == Opcode::MUL ||
+                     Op == Opcode::MLA || Op == Opcode::UMULL ||
+                     Op == Opcode::SMULL))
+      return true;
+    // MSR with the flags field, and CPSR-restoring returns.
+    if (Op == Opcode::MSR && !PsrIsSpsr && (MsrMask & 0x8))
+      return true;
+    return false;
+  }
+
+  /// True if the instruction rewrites the *entire* NZCV set: arithmetic
+  /// S-forms and compares. Logical S-forms preserve V (and C unless the
+  /// shifter produces one), multiply S-forms preserve C and V — those are
+  /// partial definitions.
+  bool definesAllFlags() const {
+    if (!definesFlags())
+      return false;
+    switch (Op) {
+    case Opcode::SUB:
+    case Opcode::RSB:
+    case Opcode::ADD:
+    case Opcode::ADC:
+    case Opcode::SBC:
+    case Opcode::RSC:
+    case Opcode::CMP:
+    case Opcode::CMN:
+      return true;
+    case Opcode::MSR:
+      return true; // writes the whole flags byte
+    default:
+      // Exception returns restore the whole CPSR.
+      if (isDataProcessing() && SetFlags && !isCompare() && Rd == RegPC)
+        return true;
+      return false;
+    }
+  }
+
+  /// True if the instruction reads the NZCV flags (condition or data use).
+  /// Partial flag definitions (see definesAllFlags) count as uses: bits
+  /// of the old flags survive into the new state, so for liveness and
+  /// coordination purposes the old value is consumed.
+  bool usesFlags() const {
+    if (C != Cond::AL && C != Cond::NV)
+      return true;
+    // ADC/SBC/RSC read C as data; MRS reads the whole CPSR.
+    if (Op == Opcode::ADC || Op == Opcode::SBC || Op == Opcode::RSC ||
+        (Op == Opcode::MRS && !PsrIsSpsr))
+      return true;
+    return definesFlags() && !definesAllFlags();
+  }
+};
+
+/// Returns the mnemonic of \p Op in lower case ("add", "ldr", ...).
+const char *opcodeName(Opcode Op);
+
+/// Bitmask of guest registers \p I reads (r15 excluded; PC reads are
+/// resolved statically by the translators).
+uint16_t regsRead(const Inst &I);
+
+/// Bitmask of guest registers \p I may write (r15 excluded).
+uint16_t regsWritten(const Inst &I);
+
+/// Returns the condition suffix ("eq", ..., "al" prints as "al" to match the
+/// paper's listings; NV prints as "nv").
+const char *condName(Cond C);
+
+} // namespace arm
+} // namespace rdbt
+
+#endif // RDBT_ARM_ISA_H

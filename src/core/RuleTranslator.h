@@ -1,0 +1,111 @@
+//===- core/RuleTranslator.h - Rule-based system-level translator -*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: the learning-based (rule-based)
+/// translator applied at system level, with explicit guest CPU state
+/// coordination and the optimizations of §III:
+///
+///  * Basic coordination (§III-A): sync-save/sync-restore brackets around
+///    every context-switch point — interrupt checks, softmmu memory
+///    accesses, helper-emulated system-level instructions — plus
+///    per-boundary register synchronization (guest registers are pinned
+///    in host registers inside a TB; env is authoritative at TB
+///    boundaries).
+///  * Coordination overhead reduction (§III-B): the one-to-many condition
+///    code state is saved packed (3-4 host instructions) instead of
+///    parsed into QEMU's per-flag slots (14); the parse happens lazily in
+///    the emulator only when something there consumes flags.
+///  * Coordination elimination (§III-C): flag-state tracking drops
+///    redundant restores (consecutive conditional instructions restore
+///    once), merges the brackets of consecutive memory accesses, and the
+///    inter-TB rule elides the trailing flag save across chained TBs
+///    whose successor defines flags before using them (patched at chain
+///    time, like QEMU patches chain jumps).
+///  * Instruction scheduling (§III-D): define-before-use scheduling moves
+///    a flag-defining instruction past intervening memory accesses to sit
+///    next to its use, and interrupt-driven scheduling co-locates the
+///    TB-head interrupt check with the first memory access so one
+///    coordination bracket covers both.
+///
+/// The optimizations are applied in the §III-E priority order: intra-TB
+/// elimination is an emission-time policy, inter-TB elision is decided at
+/// chain time, reduction selects the sync sequence style, and the
+/// scheduling passes reorder the instruction list before emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_CORE_RULETRANSLATOR_H
+#define RDBT_CORE_RULETRANSLATOR_H
+
+#include "dbt/Translator.h"
+#include "rules/RuleSet.h"
+
+namespace rdbt {
+namespace core {
+
+/// Cumulative optimization levels matching Fig. 16's series.
+enum class OptLevel : uint8_t {
+  Base = 0,       ///< §III-A basic coordination only
+  Reduction,      ///< + §III-B packed CCR save/restore
+  Elimination,    ///< + §III-C redundant-sync elimination (intra + inter TB)
+  Scheduling,     ///< + §III-D define-before-use and interrupt scheduling
+};
+
+const char *optLevelName(OptLevel L);
+
+/// Individual optimization switches (presets via forLevel()).
+struct OptConfig {
+  bool PackedCcr = false;      ///< III-B
+  bool TrackFlagState = false; ///< III-C1 + III-C2
+  bool InterTb = false;        ///< III-C3
+  bool ScheduleDefUse = false; ///< III-D1
+  bool ScheduleIrq = false;    ///< III-D2
+
+  static OptConfig forLevel(OptLevel L) {
+    OptConfig C;
+    C.PackedCcr = L >= OptLevel::Reduction;
+    C.TrackFlagState = L >= OptLevel::Elimination;
+    C.InterTb = L >= OptLevel::Elimination;
+    C.ScheduleDefUse = L >= OptLevel::Scheduling;
+    C.ScheduleIrq = L >= OptLevel::Scheduling;
+    return C;
+  }
+};
+
+class RuleTranslator final : public dbt::Translator {
+public:
+  RuleTranslator(const rules::RuleSet &Rules, OptConfig Opt)
+      : Rules(Rules), Opt(Opt) {}
+
+  const char *name() const override { return "rule-based"; }
+  void translate(const dbt::GuestBlock &GB, host::HostBlock &Out) override;
+
+  /// Entering the code cache from the emulator is a coordination
+  /// operation for the rule-based design (Path 2 of Fig. 1): the packed
+  /// or parsed flag restore plus dispatch glue.
+  dbt::EntryStub entryStub() const override {
+    return {Opt.PackedCcr ? 7ull : 17ull, host::CostClass::Sync, true};
+  }
+
+  bool allowChainFlagElision(const host::HostBlock &From,
+                             const host::HostBlock &To) const override;
+
+  /// Translation-time statistics.
+  uint64_t RuleCoveredInstrs = 0;
+  uint64_t FallbackInstrs = 0;
+  uint64_t ScheduledDefUseMoves = 0;
+  uint64_t ScheduledIrqChecks = 0;
+
+private:
+  const rules::RuleSet &Rules;
+  OptConfig Opt;
+};
+
+} // namespace core
+} // namespace rdbt
+
+#endif // RDBT_CORE_RULETRANSLATOR_H

@@ -1,0 +1,61 @@
+//===- dbt/CodeCache.cpp - Translated code cache ---------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/CodeCache.h"
+
+#include <cassert>
+
+using namespace rdbt;
+using namespace rdbt::dbt;
+
+int CodeCache::find(uint32_t Pc, uint32_t MmuIdx) const {
+  const auto It = Index.find(key(Pc, MmuIdx));
+  return It == Index.end() ? -1 : It->second;
+}
+
+int CodeCache::insert(host::HostBlock Block, uint32_t MmuIdx) {
+  const int Id = static_cast<int>(Blocks.size());
+  const uint32_t Pc = Block.GuestPc;
+  Blocks.push_back(std::make_unique<host::HostBlock>(std::move(Block)));
+  Index[key(Pc, MmuIdx)] = Id;
+  return Id;
+}
+
+void CodeCache::flush() {
+  Blocks.clear();
+  Index.clear();
+  ++Flushes;
+}
+
+void CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
+  host::HostBlock *From = mutableBlock(FromTb);
+  assert(From && Slot >= 0 && Slot < 2 && "bad chain request");
+  host::HostBlock::Chain &Ch = From->Chains[Slot];
+  assert(Ch.TargetTb < 0 && "chain slot already patched");
+  Ch.TargetTb = ToTb;
+  ++ChainsMade;
+  if (!ElideFlagSave || Ch.FlagSaveBegin < 0)
+    return;
+  ++ChainsWithElision;
+  for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I) {
+    if (!From->Code[I].Dead) {
+      From->Code[I].Dead = true;
+      ++ElidedSyncInstrs;
+    }
+  }
+}
+
+const host::HostBlock *CodeCache::block(int TbId) const {
+  if (TbId < 0 || static_cast<size_t>(TbId) >= Blocks.size())
+    return nullptr;
+  return Blocks[TbId].get();
+}
+
+host::HostBlock *CodeCache::mutableBlock(int TbId) {
+  if (TbId < 0 || static_cast<size_t>(TbId) >= Blocks.size())
+    return nullptr;
+  return Blocks[TbId].get();
+}

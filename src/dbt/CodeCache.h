@@ -1,0 +1,64 @@
+//===- dbt/CodeCache.h - Translated code cache ------------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translated-code cache: host blocks indexed by (guest PC, MMU
+/// index), with block chaining and chain-time patching (including the
+/// inter-TB flag-save elision of §III-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_DBT_CODECACHE_H
+#define RDBT_DBT_CODECACHE_H
+
+#include "host/HostMachine.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rdbt {
+namespace dbt {
+
+class CodeCache : public host::CodeSource {
+public:
+  /// Returns the TB id for (Pc, MmuIdx) or -1.
+  int find(uint32_t Pc, uint32_t MmuIdx) const;
+
+  /// Inserts a freshly translated block, returns its TB id.
+  int insert(host::HostBlock Block, uint32_t MmuIdx);
+
+  /// Drops every translation (TTBR/SCTLR writes).
+  void flush();
+
+  /// Chains \p FromTb's \p Slot to \p ToTb. If \p ElideFlagSave, the
+  /// flag-save region belonging to that exit is marked dead (inter-TB
+  /// optimization); the elided instructions are tallied in
+  /// \ref ElidedSyncInstrs.
+  void chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave);
+
+  const host::HostBlock *block(int TbId) const override;
+  host::HostBlock *mutableBlock(int TbId);
+
+  size_t size() const { return Blocks.size(); }
+  uint64_t Flushes = 0;
+  uint64_t ElidedSyncInstrs = 0;
+  uint64_t ChainsMade = 0;
+  uint64_t ChainsWithElision = 0;
+
+private:
+  std::vector<std::unique_ptr<host::HostBlock>> Blocks;
+  std::unordered_map<uint64_t, int> Index;
+
+  static uint64_t key(uint32_t Pc, uint32_t MmuIdx) {
+    return (static_cast<uint64_t>(MmuIdx) << 32) | Pc;
+  }
+};
+
+} // namespace dbt
+} // namespace rdbt
+
+#endif // RDBT_DBT_CODECACHE_H

@@ -1,0 +1,114 @@
+//===- dbt/Engine.h - System-level DBT execution engine ---------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The system-level DBT engine — the emulator-side half ("QEMU") of the
+/// paper's picture. It owns the code cache, drives translation, delivers
+/// interrupts and exceptions between TB executions, implements the helper
+/// functions generated code calls (slow-path memory access, instruction
+/// emulation), handles WFI sleep, and charges the emulator-to-code-cache
+/// entry stub that the rule-based translator's CPU-state coordination
+/// revolves around (Path 2 in the paper's Fig. 1).
+///
+/// Both translators run under this same engine, so every measured
+/// difference between them comes from the code they generate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_DBT_ENGINE_H
+#define RDBT_DBT_ENGINE_H
+
+#include "dbt/CodeCache.h"
+#include "dbt/Translator.h"
+#include "host/HostMachine.h"
+#include "sys/Interpreter.h"
+#include "sys/Mmu.h"
+#include "sys/Platform.h"
+
+namespace rdbt {
+namespace dbt {
+
+/// Why DbtEngine::run returned.
+enum class StopReason : uint8_t {
+  GuestShutdown, ///< the guest wrote the shutdown register
+  WallLimit,     ///< the wall-cycle budget was exhausted
+  Deadlock,      ///< WFI with no pending event and no future deadline
+  Runaway,       ///< per-run host instruction guard tripped
+};
+
+/// Engine-side statistics (the host machine keeps the instruction-level
+/// counters; see host::ExecCounters).
+struct EngineStats {
+  uint64_t Translations = 0;
+  uint64_t TranslatedGuestInstrs = 0;
+  uint64_t IrqsDelivered = 0;
+  uint64_t GuestExceptions = 0;
+  uint64_t CacheEntries = 0; ///< emulator-to-code-cache transitions
+  uint64_t WfiSleeps = 0;
+};
+
+class DbtEngine final : public host::HelperHandler, public host::WallSink {
+public:
+  DbtEngine(sys::Platform &Board, Translator &Xlat);
+
+  /// Runs the guest from the current env state until shutdown or until
+  /// \p MaxWallCycles of emulation cost have accumulated.
+  StopReason run(uint64_t MaxWallCycles);
+
+  const host::ExecCounters &counters() const { return Machine.Counters; }
+  EngineStats Stats;
+  sys::Mmu &mmu() { return Mmu_; }
+  CodeCache &codeCache() { return Cache; }
+  sys::Platform &board() { return Board; }
+
+  // host::HelperHandler: the generated code's helper functions.
+  Outcome call(uint16_t HelperId, uint32_t A0, uint32_t A1,
+               uint32_t GuestPc) override;
+
+  // host::WallSink: device clock service.
+  uint64_t onWall(uint64_t Now) override;
+
+private:
+  /// PhysPort over the platform (GLoad/GStore hit RAM only).
+  class RamPort final : public host::PhysPort {
+  public:
+    explicit RamPort(sys::Platform &P) : Board(P) {}
+    bool read(uint32_t Pa, unsigned Size, uint32_t &Value) override {
+      return Board.physRead(Pa, Size, Value);
+    }
+    bool write(uint32_t Pa, unsigned Size, uint32_t Value) override {
+      return Board.physWrite(Pa, Size, Value);
+    }
+
+  private:
+    sys::Platform &Board;
+  };
+
+  sys::Platform &Board;
+  Translator &Xlat;
+  sys::Mmu Mmu_;
+  sys::Interpreter Interp;
+  CodeCache Cache;
+  RamPort Port;
+  host::HostMachine Machine;
+
+  /// Translates the block at (Pc, current MmuIdx); returns its TB id or
+  /// -1 if the initial fetch faulted (a prefetch abort was delivered).
+  int translateAt(uint32_t Pc);
+
+  /// Copies env state into the pinned host registers and charges the
+  /// translator's entry stub.
+  void enterCodeCache();
+
+  Outcome memHelper(unsigned Size, bool IsWrite, uint32_t Vaddr,
+                    uint32_t Value, uint32_t GuestPc);
+  Outcome emulateHelper(uint32_t GuestPc);
+};
+
+} // namespace dbt
+} // namespace rdbt
+
+#endif // RDBT_DBT_ENGINE_H

@@ -1,0 +1,39 @@
+//===- dbt/GuestBlock.cpp - Decoded guest translation block ----------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/GuestBlock.h"
+
+#include "arm/Decoder.h"
+
+using namespace rdbt;
+using namespace rdbt::dbt;
+
+bool dbt::fetchGuestBlock(sys::Mmu &Mmu, uint32_t Pc, uint32_t MmuIdx,
+                          GuestBlock &Out, sys::Fault &F) {
+  Out.StartPc = Pc;
+  Out.MmuIdx = MmuIdx;
+  Out.Insts.clear();
+
+  for (unsigned N = 0; N < MaxGuestInstrsPerTb; ++N) {
+    uint32_t Word = 0;
+    sys::Fault Local;
+    if (!Mmu.fetchWord(Pc, Word, Local)) {
+      if (Out.Insts.empty()) {
+        F = Local;
+        return false;
+      }
+      // A later instruction straddles an unmapped page: end the block so
+      // execution reaches that PC and faults precisely there.
+      return true;
+    }
+    const arm::Inst I = arm::decode(Word);
+    Out.Insts.push_back(I);
+    Pc += 4;
+    if (!I.isValid() || I.endsBlock())
+      break;
+  }
+  return true;
+}

@@ -1,0 +1,51 @@
+//===- dbt/GuestBlock.h - Decoded guest translation block -------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decoded guest basic block (the unit of translation, "TB" in the
+/// paper) plus the fetcher that builds one from guest memory through the
+/// MMU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_DBT_GUESTBLOCK_H
+#define RDBT_DBT_GUESTBLOCK_H
+
+#include "arm/Isa.h"
+#include "sys/Mmu.h"
+
+#include <vector>
+
+namespace rdbt {
+namespace dbt {
+
+/// Decoded guest instructions forming one translation block. The block
+/// ends at the first control-flow instruction or at MaxInstrs.
+struct GuestBlock {
+  uint32_t StartPc = 0;
+  uint32_t MmuIdx = 0; ///< privilege level the block was fetched under
+  std::vector<arm::Inst> Insts;
+
+  uint32_t pcOf(size_t Index) const {
+    return StartPc + 4 * static_cast<uint32_t>(Index);
+  }
+  uint32_t endPc() const { return pcOf(Insts.size()); }
+  bool empty() const { return Insts.empty(); }
+};
+
+/// Upper bound on guest instructions per TB (QEMU uses similar caps).
+constexpr unsigned MaxGuestInstrsPerTb = 48;
+
+/// Fetches and decodes a block starting at \p Pc. Returns false if the
+/// *first* fetch faults (the caller delivers a prefetch abort with the
+/// fault in \p F); later faults simply end the block early.
+bool fetchGuestBlock(sys::Mmu &Mmu, uint32_t Pc, uint32_t MmuIdx,
+                     GuestBlock &Out, sys::Fault &F);
+
+} // namespace dbt
+} // namespace rdbt
+
+#endif // RDBT_DBT_GUESTBLOCK_H

@@ -1,0 +1,57 @@
+//===- dbt/Translator.h - Translator interface ------------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface both translators (the QEMU-like IR baseline in src/ir and
+/// the rule-based translator in src/core) implement, plus the descriptor
+/// of the code-cache entry stub: the cost the engine charges when control
+/// enters the code cache from the emulator (the paper's Path 2 — for the
+/// rule-based translator this is a full sync-restore of the pinned guest
+/// state; for QEMU it is a plain prologue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_DBT_TRANSLATOR_H
+#define RDBT_DBT_TRANSLATOR_H
+
+#include "dbt/GuestBlock.h"
+#include "host/HostInst.h"
+
+namespace rdbt {
+namespace dbt {
+
+/// Cost charged on every emulator-to-code-cache transition.
+struct EntryStub {
+  uint64_t Cost = 0;
+  host::CostClass Cls = host::CostClass::Glue;
+  bool IsSyncOp = false; ///< counts toward the coordination-operation tally
+};
+
+class Translator {
+public:
+  virtual ~Translator();
+
+  virtual const char *name() const = 0;
+
+  /// Translates \p GB into \p Out. \p Out arrives default-constructed
+  /// with GuestPc/NumGuestInstrs unset; the translator fills everything.
+  virtual void translate(const GuestBlock &GB, host::HostBlock &Out) = 0;
+
+  /// The emulator-to-code-cache entry stub this translator requires.
+  virtual EntryStub entryStub() const = 0;
+
+  /// Whether chaining from \p From's slot to \p To may skip \p From's
+  /// trailing flag save (the III-C inter-TB elimination). The base
+  /// implementation says no; the rule translator overrides per its
+  /// optimization level.
+  virtual bool allowChainFlagElision(const host::HostBlock &From,
+                                     const host::HostBlock &To) const;
+};
+
+} // namespace dbt
+} // namespace rdbt
+
+#endif // RDBT_DBT_TRANSLATOR_H

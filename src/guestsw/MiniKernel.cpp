@@ -1,0 +1,271 @@
+//===- guestsw/MiniKernel.cpp - Guest mini operating system ----------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "guestsw/MiniKernel.h"
+
+#include "arm/AsmBuilder.h"
+
+#include <cassert>
+
+using namespace rdbt;
+using namespace rdbt::guestsw;
+using namespace rdbt::arm;
+
+namespace {
+
+/// Registers used by kernel handlers (r12 is the scratch the ARM ABI
+/// reserves for this kind of use; user state in r4+ is preserved).
+enum : uint8_t { R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12 };
+
+/// AP field values for our 2-bit permission model.
+enum : uint32_t { ApPrivRw = 1, ApUserRw = 3 };
+
+uint32_t sectionEntry(uint32_t Pa, uint32_t Ap) {
+  return (Pa & 0xFFF00000u) | (Ap << 10) | 2u;
+}
+
+} // namespace
+
+std::vector<uint32_t> guestsw::buildKernelImage() {
+  AsmBuilder K(0);
+  using L = KernelLayout;
+
+  // --- Vector table (VBAR = 0) -------------------------------------------
+  Label Boot = K.newLabel(), Undef = K.newLabel(), Svc = K.newLabel();
+  Label Pabt = K.newLabel(), Dabt = K.newLabel(), Irq = K.newLabel();
+  Label Hang = K.newLabel();
+  K.b(Boot);  // 0x00 reset
+  K.b(Undef); // 0x04 undefined instruction
+  K.b(Svc);   // 0x08 supervisor call
+  K.b(Pabt);  // 0x0C prefetch abort
+  K.b(Dabt);  // 0x10 data abort
+  K.b(Hang);  // 0x14 (reserved)
+  K.b(Irq);   // 0x18 IRQ
+  K.b(Hang);  // 0x1C FIQ
+  K.padTo(L::KernelCode);
+
+  // --- Boot ---------------------------------------------------------------
+  K.bind(Boot);
+  // SVC stack; IRQ-mode stack via a temporary mode switch.
+  K.movImm32(RegSP, L::SvcStackTop);
+  K.movImm32(R0, 0xD2); // IRQ mode, IRQs masked
+  K.msr(R0, /*Spsr=*/false, /*Mask=*/0x1);
+  K.movImm32(RegSP, L::IrqStackTop);
+  K.movImm32(R0, 0xD3); // back to SVC
+  K.msr(R0, false, 0x1);
+
+  // Zero the L1 table (4096 words) and the heap L2 table (256 words).
+  K.movImm32(R0, L::L1Table);
+  K.movImm32(R1, L::L1Table + 0x4000);
+  K.movi(R2, 0);
+  Label ZeroL1 = K.hereLabel();
+  K.ldrstr(Opcode::STR, R2, R0, 4, Cond::AL, false, /*PostIndex=*/true);
+  K.cmp(R0, Operand2::reg(R1));
+  K.b(ZeroL1, Cond::NE);
+  K.movImm32(R0, L::L2Table);
+  K.movImm32(R1, L::L2Table + 0x400);
+  Label ZeroL2 = K.hereLabel();
+  K.ldrstr(Opcode::STR, R2, R0, 4, Cond::AL, false, true);
+  K.cmp(R0, Operand2::reg(R1));
+  K.b(ZeroL2, Cond::NE);
+
+  // Kernel variables.
+  K.movImm32(R0, L::VarTicks);
+  K.str(R2, R0, 0);                       // ticks = 0
+  K.str(R2, R0, L::VarDiskDone - L::VarTicks); // disk-done = 0
+  K.movImm32(R1, L::HeapPhysPool);
+  K.str(R1, R0, L::VarHeapNext - L::VarTicks); // heap bump = pool base
+
+  // Page tables:
+  //   L1[0]      kernel section, identity, priv RW
+  //   L1[0xF00]  device section, identity, priv RW
+  //   L1[4]      user section VA 0x400000 -> PA 0x100000, user RW
+  //   L1[6]      heap page table -> L2Table
+  K.movImm32(R0, L::L1Table);
+  K.movImm32(R1, sectionEntry(0, ApPrivRw));
+  K.str(R1, R0, 0);
+  K.movImm32(R1, sectionEntry(0xF0000000u, ApPrivRw));
+  K.movImm32(R2, 0xF00 * 4);
+  K.ldrstrReg(Opcode::STR, R1, R0, Operand2::reg(R2));
+  K.movImm32(R1, sectionEntry(L::UserPhys, ApUserRw));
+  K.str(R1, R0, 4 * 4);
+  K.movImm32(R1, L::L2Table | 1u);
+  K.str(R1, R0, 6 * 4);
+
+  // Domain register (walker stores it; realism only), TTBR0, MMU on.
+  K.movi(R1, 1);
+  K.mcr(Cp15Reg::DACR, R1);
+  K.movImm32(R1, L::L1Table);
+  K.mcr(Cp15Reg::TTBR0, R1);
+  K.mrc(Cp15Reg::SCTLR, R1);
+  K.alu(Opcode::ORR, R1, R1, Operand2::imm(1));
+  K.mcr(Cp15Reg::SCTLR, R1); // identity mapping keeps PC valid
+
+  // Devices: timer period + enable; unmask timer/disk lines.
+  K.movImm32(R0, sys::MmioTimer);
+  K.movImm32(R1, TimerIntervalCycles);
+  K.str(R1, R0, sys::TimerDevice::RegInterval);
+  K.movi(R1, 1);
+  K.str(R1, R0, sys::TimerDevice::RegCtrl);
+  K.movImm32(R0, sys::MmioIntc);
+  K.movi(R1, (1u << sys::IrqLineTimer) | (1u << sys::IrqLineDisk));
+  K.str(R1, R0, sys::IntController::RegEnable);
+  K.cps(/*DisableIrq=*/false);
+
+  // Drop to user mode: SPSR = user/IRQs-on, return to the user entry.
+  K.movi(R0, 0x10);
+  K.msr(R0, /*Spsr=*/true, 0x9);
+  K.movImm32(RegLR, L::UserVirt);
+  K.movsPcLr();
+
+  // --- SVC handler ---------------------------------------------------------
+  K.bind(Svc);
+  Label SvcPutc = K.newLabel(), SvcTicks = K.newLabel();
+  Label SvcDisk = K.newLabel(), SvcRet = K.newLabel();
+  K.cmp(R7, Operand2::imm(SysExit));
+  Label NotExit = K.newLabel();
+  K.b(NotExit, Cond::NE);
+  // exit: write the UART shutdown register.
+  K.movImm32(R12, sys::MmioUart);
+  K.str(R0, R12, sys::Uart::RegShutdown);
+  Label Spin = K.hereLabel();
+  K.b(Spin); // not reached; the machine powers off
+  K.bind(NotExit);
+  K.cmp(R7, Operand2::imm(SysPutc));
+  K.b(SvcPutc, Cond::EQ);
+  K.cmp(R7, Operand2::imm(SysGetTicks));
+  K.b(SvcTicks, Cond::EQ);
+  K.cmp(R7, Operand2::imm(SysDiskRead));
+  K.b(SvcDisk, Cond::EQ);
+  K.cmp(R7, Operand2::imm(SysDiskWrite));
+  K.b(SvcDisk, Cond::EQ);
+  K.b(SvcRet); // SysYield and unknown numbers: no-op
+
+  K.bind(SvcPutc);
+  K.movImm32(R12, sys::MmioUart);
+  K.str(R0, R12, sys::Uart::RegTx);
+  K.b(SvcRet);
+
+  K.bind(SvcTicks);
+  K.movImm32(R12, KernelLayout::VarTicks);
+  K.ldr(R0, R12, 0);
+  K.b(SvcRet);
+
+  // Disk I/O: translate the user buffer (user section is a fixed window),
+  // program the DMA engine, then WFI until the completion interrupt.
+  K.bind(SvcDisk);
+  K.push((1u << R4) | (1u << R5));
+  K.movImm32(R12, KernelLayout::VarDiskDone);
+  K.movi(R4, 0);
+  K.str(R4, R12, 0); // disk-done = 0
+  K.movImm32(R4, sys::MmioDisk);
+  K.str(R0, R4, sys::DiskDevice::RegSector);
+  // buffer phys = vaddr - UserVirt + UserPhys
+  K.movImm32(R5, L::UserVirt - L::UserPhys);
+  K.sub(R5, R1, Operand2::reg(R5));
+  K.str(R5, R4, sys::DiskDevice::RegDmaAddr);
+  K.str(R2, R4, sys::DiskDevice::RegCount);
+  K.cmp(R7, Operand2::imm(SysDiskRead));
+  K.movi(R5, sys::DiskDevice::CmdRead, Cond::EQ);
+  K.movi(R5, sys::DiskDevice::CmdWrite, Cond::NE);
+  K.str(R5, R4, sys::DiskDevice::RegCmd);
+  K.cps(/*DisableIrq=*/false); // allow the completion IRQ while we wait
+  Label DiskWait = K.hereLabel();
+  K.wfi();
+  K.ldr(R5, R12, 0);
+  K.cmp(R5, Operand2::imm(0));
+  K.b(DiskWait, Cond::EQ);
+  K.cps(/*DisableIrq=*/true);
+  K.pop((1u << R4) | (1u << R5));
+  K.bind(SvcRet);
+  K.movsPcLr();
+
+  // --- IRQ handler ---------------------------------------------------------
+  K.bind(Irq);
+  K.push((1u << R0) | (1u << R1) | (1u << R2) | (1u << R12));
+  K.movImm32(R12, sys::MmioIntc);
+  K.ldr(R0, R12, sys::IntController::RegPending);
+  // Timer tick?
+  K.tst(R0, Operand2::imm(1u << sys::IrqLineTimer));
+  Label NoTimer = K.newLabel();
+  K.b(NoTimer, Cond::EQ);
+  K.movImm32(R1, KernelLayout::VarTicks);
+  K.ldr(R2, R1, 0);
+  K.add(R2, R2, Operand2::imm(1));
+  K.str(R2, R1, 0);
+  K.movi(R1, sys::IrqLineTimer);
+  K.str(R1, R12, sys::IntController::RegAck);
+  K.bind(NoTimer);
+  // Disk completion?
+  K.tst(R0, Operand2::imm(1u << sys::IrqLineDisk));
+  Label NoDisk = K.newLabel();
+  K.b(NoDisk, Cond::EQ);
+  K.movImm32(R1, KernelLayout::VarDiskDone);
+  K.movi(R2, 1);
+  K.str(R2, R1, 0);
+  K.movi(R1, sys::IrqLineDisk);
+  K.str(R1, R12, sys::IntController::RegAck);
+  K.bind(NoDisk);
+  K.pop((1u << R0) | (1u << R1) | (1u << R2) | (1u << R12));
+  K.eret(4); // subs pc, lr, #4
+
+  // --- Data abort: demand paging of the user heap --------------------------
+  K.bind(Dabt);
+  K.push((1u << R0) | (1u << R1) | (1u << R2) | (1u << R3));
+  K.mrc(Cp15Reg::DFAR, R0);
+  // In [HeapVirt, HeapMax)?
+  K.movImm32(R1, L::HeapVirt);
+  K.cmp(R0, Operand2::reg(R1));
+  Label BadAbort = K.newLabel();
+  K.b(BadAbort, Cond::CC);
+  K.movImm32(R1, L::HeapMax);
+  K.cmp(R0, Operand2::reg(R1));
+  K.b(BadAbort, Cond::CS);
+  // Allocate a physical page from the bump pool.
+  K.movImm32(R1, KernelLayout::VarHeapNext);
+  K.ldr(R2, R1, 0);
+  K.add(R3, R2, Operand2::imm(0x1000));
+  K.str(R3, R1, 0);
+  // L2 entry: phys | AP(user RW) << 4 | small page.
+  K.alu(Opcode::ORR, R2, R2, Operand2::imm(ApUserRw << 4));
+  K.alu(Opcode::ORR, R2, R2, Operand2::imm(2));
+  // Slot: L2Table + ((DFAR >> 12) & 0xFF) * 4.
+  K.mov(R3, Operand2::shiftedReg(R0, ShiftKind::LSR, 12));
+  K.alu(Opcode::AND, R3, R3, Operand2::imm(0xFF));
+  K.movImm32(R1, L::L2Table);
+  K.ldrstrReg(Opcode::STR, R2, R1,
+              Operand2::shiftedReg(R3, ShiftKind::LSL, 2));
+  K.pop((1u << R0) | (1u << R1) | (1u << R2) | (1u << R3));
+  K.eret(8); // retry the faulting access
+
+  // Abort outside the heap, or an unexpected exception: report and stop.
+  K.bind(BadAbort);
+  K.bind(Undef);
+  K.bind(Pabt);
+  K.movImm32(R12, sys::MmioUart);
+  K.movi(R0, '!');
+  K.str(R0, R12, sys::Uart::RegTx);
+  K.str(R0, R12, sys::Uart::RegShutdown);
+  K.bind(Hang);
+  Label HangLoop = K.hereLabel();
+  K.b(HangLoop);
+
+  K.pool();
+  return K.finish();
+}
+
+void guestsw::installGuest(sys::Platform &Board,
+                           const std::vector<uint32_t> &UserImage) {
+  using L = KernelLayout;
+  assert(Board.Ram.size() >= L::MinRam && "RAM too small for the layout");
+  const std::vector<uint32_t> Kernel = buildKernelImage();
+  assert(Kernel.size() * 4 < L::L2Table && "kernel image overlaps tables");
+  Board.Ram.loadWords(0, Kernel);
+  assert(UserImage.size() * 4 < L::UserData - L::UserVirt &&
+         "user image overlaps the data window");
+  Board.Ram.loadWords(L::UserPhys, UserImage);
+  sys::resetEnv(Board.Env);
+}

@@ -1,0 +1,88 @@
+//===- guestsw/MiniKernel.h - Guest mini operating system -------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature ARM guest kernel, assembled with AsmBuilder and booted by
+/// the emulated machine. It exercises every system-level path the paper's
+/// evaluation depends on: privileged cp15 configuration, page-table
+/// construction and MMU enable, SVC syscalls, asynchronous timer/disk
+/// interrupts, WFI idling, user/kernel mode switches with banked
+/// registers, and data-abort-driven demand paging of the user heap.
+///
+/// Memory map (phys == virt for kernel; RAM starts at 0):
+///   0x00000000  vector table (VBAR = 0)
+///   0x00000200  kernel code
+///   0x00003000  L2 page table for the user heap
+///   0x00004000  L1 page table (16 KiB)
+///   0x00008000  kernel variables (ticks, disk-done, heap bump pointer)
+///   0x00010000  SVC stack top | 0x0000C000 IRQ stack top
+///   0x00100000  user image physical backing
+///   0x00200000  heap physical page pool (bump-allocated)
+///   0x00400000  user section (virt) -> 0x00100000, user RW, 1 MiB
+///   0x00600000  user heap (virt), demand-paged 4 KiB pages
+///   0xF00xxxxx  devices (priv only)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_GUESTSW_MINIKERNEL_H
+#define RDBT_GUESTSW_MINIKERNEL_H
+
+#include "sys/Platform.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rdbt {
+namespace guestsw {
+
+/// Fixed addresses shared between the kernel and the host-side loaders.
+struct KernelLayout {
+  static constexpr uint32_t VecBase = 0x0;
+  static constexpr uint32_t KernelCode = 0x200;
+  static constexpr uint32_t L2Table = 0x3000;
+  static constexpr uint32_t L1Table = 0x4000;
+  static constexpr uint32_t VarTicks = 0x8000;
+  static constexpr uint32_t VarDiskDone = 0x8004;
+  static constexpr uint32_t VarHeapNext = 0x8008;
+  static constexpr uint32_t IrqStackTop = 0xC000;
+  static constexpr uint32_t SvcStackTop = 0x10000;
+  static constexpr uint32_t UserPhys = 0x00100000;
+  static constexpr uint32_t HeapPhysPool = 0x00200000;
+  static constexpr uint32_t UserVirt = 0x00400000;
+  static constexpr uint32_t UserStackTop = 0x004F0000;
+  static constexpr uint32_t UserData = 0x00480000;
+  static constexpr uint32_t HeapVirt = 0x00600000;
+  static constexpr uint32_t HeapMax = 0x00700000;
+  /// Minimum RAM for this layout.
+  static constexpr uint32_t MinRam = 0x00400000;
+};
+
+/// Syscall numbers (in r7; arguments r0-r2; result r0).
+enum Syscall : uint32_t {
+  SysExit = 1,     ///< power off the machine
+  SysPutc = 2,     ///< write r0's low byte to the console
+  SysGetTicks = 3, ///< timer ticks since boot
+  SysDiskRead = 4, ///< r0 = sector, r1 = user vaddr, r2 = sector count
+  SysDiskWrite = 5,
+  SysYield = 6,    ///< no-op syscall (syscall-path microbenchmarks)
+};
+
+/// Timer period in wall cycles (the guest programs it at boot).
+constexpr uint32_t TimerIntervalCycles = 400000;
+
+/// Assembles the kernel image (loaded at physical 0).
+std::vector<uint32_t> buildKernelImage();
+
+/// Loads the kernel plus a user program (an AsmBuilder::finish image based
+/// at KernelLayout::UserVirt) into \p Board and leaves the env at the
+/// reset vector, ready to run.
+void installGuest(sys::Platform &Board,
+                  const std::vector<uint32_t> &UserImage);
+
+} // namespace guestsw
+} // namespace rdbt
+
+#endif // RDBT_GUESTSW_MINIKERNEL_H

@@ -1,0 +1,46 @@
+//===- ir/QemuTranslator.h - QEMU-like baseline translator ------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline system-level translator modelled on QEMU 6.1: guest ->
+/// TCG-lite IR -> host, with all guest CPU state memory-resident in env.
+/// Every comparison in the paper uses this translator as the reference
+/// ("QEMU 6.1" in Figures 14-19).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_IR_QEMUTRANSLATOR_H
+#define RDBT_IR_QEMUTRANSLATOR_H
+
+#include "dbt/Translator.h"
+#include "ir/TcgIr.h"
+
+namespace rdbt {
+namespace ir {
+
+/// Builds the IR for one guest block (exposed for tests and the
+/// compare_translators example).
+void buildIr(const dbt::GuestBlock &GB, IrBlock &Out);
+
+/// Lowers IR to host code, adding the TB-head interrupt check and the
+/// chainable exits (exposed for tests).
+void lowerIr(const dbt::GuestBlock &GB, const IrBlock &Ir,
+             host::HostBlock &Out);
+
+class QemuTranslator final : public dbt::Translator {
+public:
+  const char *name() const override { return "qemu-6.1-baseline"; }
+  void translate(const dbt::GuestBlock &GB, host::HostBlock &Out) override;
+  dbt::EntryStub entryStub() const override {
+    // QEMU's cpu_tb_exec prologue: spill/fill of a few host registers.
+    return {4, host::CostClass::Glue, false};
+  }
+};
+
+} // namespace ir
+} // namespace rdbt
+
+#endif // RDBT_IR_QEMUTRANSLATOR_H

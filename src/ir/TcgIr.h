@@ -1,0 +1,115 @@
+//===- ir/TcgIr.h - TCG-lite intermediate representation --------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The QEMU-style intermediate representation of the baseline translator.
+/// The baseline performs the paper's two-step "many-to-many" translation:
+/// each guest instruction expands into n IR operations (operand loads from
+/// env, explicit flag materialization, softmmu accesses), and the backend
+/// lowers each IR op to host instructions — the code-quality gap the
+/// learned rules close.
+///
+/// Guest architectural state lives in env across every IR operation
+/// (QEMU's memory-resident CPU state, §II-B); temporaries never outlive
+/// one guest instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_IR_TCGIR_H
+#define RDBT_IR_TCGIR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rdbt {
+namespace ir {
+
+/// IR temporaries t0..t14 map 1:1 to host registers in the backend
+/// (h15 is backend scratch, t0-t2 belong to the softmmu sequence).
+using Temp = uint8_t;
+constexpr unsigned MaxTemps = 15;
+
+/// Comparison kinds for SetCond/Brcond.
+enum class IrCmp : uint8_t {
+  Eq0, ///< A == 0
+  Ne0, ///< A != 0
+  Eq,  ///< A == B
+  Ne,  ///< A != B
+  LtU, ///< A < B unsigned
+  GeU, ///< A >= B unsigned
+};
+
+enum class IrOp : uint8_t {
+  Nop,
+  MovI,  ///< Dst = Imm
+  Mov,   ///< Dst = A
+  Add,   ///< Dst = A + B
+  AddI,  ///< Dst = A + Imm
+  Sub,
+  SubI,
+  Rsb,   ///< Dst = B - A
+  And,
+  AndI,
+  Or,
+  OrI,
+  Xor,
+  Bic,   ///< Dst = A & ~B
+  Not,
+  Neg,
+  Shl,
+  ShlI,
+  Shr,
+  ShrI,
+  Sar,
+  SarI,
+  Ror,
+  RorI,
+  Mul,
+  MulLU, ///< Dst = lo, B2 = hi (unsigned widening)
+  MulLS,
+  Clz,
+  SetCond, ///< Dst = Cmp(A, B) ? 1 : 0
+  LdEnv,   ///< Dst = env[Slot]
+  StEnv,   ///< env[Slot] = A
+  StEnvI,  ///< env[Slot] = Imm
+  QemuLd,  ///< Dst = guest[A], Size bytes (inline softmmu)
+  QemuSt,  ///< guest[A] = B, Size bytes
+  Brcond,  ///< if Cmp(A, B) goto Label
+  Br,      ///< goto Label
+  Label,   ///< label definition (Imm = id)
+  CallEmulate, ///< helper-emulate the guest instruction at GuestPc
+  GotoTb,      ///< chainable direct exit (Imm = slot, Target = guest PC)
+  ExitLookup,  ///< exit; env PC already holds the continuation
+};
+
+struct IrInst {
+  IrOp Op = IrOp::Nop;
+  IrCmp Cmp = IrCmp::Eq0;
+  Temp Dst = 0, A = 0, B = 0, B2 = 0;
+  uint8_t Size = 4;
+  uint16_t Slot = 0;
+  int32_t Imm = 0;
+  int32_t Label = -1;
+  uint32_t Target = 0;
+  uint32_t GuestPc = 0;
+};
+
+/// One translation block's worth of IR.
+struct IrBlock {
+  std::vector<IrInst> Ops;
+  int NumLabels = 0;
+
+  int newLabel() { return NumLabels++; }
+  IrInst &emit(IrInst I) {
+    Ops.push_back(I);
+    return Ops.back();
+  }
+};
+
+} // namespace ir
+} // namespace rdbt
+
+#endif // RDBT_IR_TCGIR_H

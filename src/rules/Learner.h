@@ -1,0 +1,93 @@
+//===- rules/Learner.h - Automatic rule learning pipeline -------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic learning framework of §II-A, rebuilt end to end:
+///
+///  1. a tiny training source language (statements over variables) is
+///     compiled by two toy compilers — one emitting guest ARM, one
+///     emitting host instructions — both recording source line numbers
+///     (the "debug information");
+///  2. fragment extraction pairs the guest/host code of each source line;
+///  3. symbolic execution verifies semantic equivalence of each pair
+///     (rules/SymExec.h), including re-verification under operand
+///     aliasing to discover the constraints two-address templates need;
+///  4. parameterization replaces concrete registers/immediates with
+///     parameters and lumps opcode variants into classes ("More with
+///     less" [2]), producing the same Rule objects the translator
+///     consumes.
+///
+/// The tests cross-check the learned set against the hand-audited
+/// reference set and run whole workloads on learned rules only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_RULES_LEARNER_H
+#define RDBT_RULES_LEARNER_H
+
+#include "rules/RuleSet.h"
+
+namespace rdbt {
+namespace rules {
+
+/// One training-language statement (one "source line").
+struct TrainStmt {
+  enum class Kind : uint8_t {
+    MovImm,   ///< vD = imm
+    MovVar,   ///< vD = vA
+    MovNot,   ///< vD = ~vA
+    Bin,      ///< vD = vA op vB
+    BinImm,   ///< vD = vA op imm
+    BinShift, ///< vD = vA op (vB shift amt)
+    Cmp,      ///< flags = vA cmp vB
+    CmpImm,   ///< flags = vA cmp imm
+    Mul,      ///< vD = vA * vB
+    Mla,      ///< vD = vA * vB + vC
+  };
+  Kind K = Kind::Bin;
+  arm::Opcode Op = arm::Opcode::ADD; ///< Bin*/Cmp* opcode
+  bool SetFlags = false;
+  uint8_t D = 0, A = 0, B = 0, C = 0; ///< variable ids (0..7)
+  uint32_t Imm = 0;
+  arm::ShiftKind Shift = arm::ShiftKind::LSL;
+  uint8_t ShAmt = 0;
+};
+
+/// Result of learning one statement.
+struct LearnOutcome {
+  bool Compiled = false;
+  bool Verified = false;
+  bool Parameterized = false;
+};
+
+/// Statistics from a learning run.
+struct LearnStats {
+  unsigned Statements = 0;
+  unsigned VerifiedPairs = 0;
+  unsigned RejectedPairs = 0;
+  unsigned RulesBeforeMerge = 0;
+  unsigned RulesAfterMerge = 0;
+};
+
+/// Learns a rule from one statement; appends to \p Out on success.
+LearnOutcome learnFromStatement(const TrainStmt &S, std::vector<Rule> &Out);
+
+/// Generates a deterministic training corpus of \p Count statements.
+std::vector<TrainStmt> buildTrainingCorpus(unsigned Count, uint64_t Seed);
+
+/// Full pipeline: corpus -> compile -> extract -> verify -> parameterize
+/// -> merge into a RuleSet.
+RuleSet learnRuleSet(unsigned CorpusSize, uint64_t Seed,
+                     LearnStats *Stats = nullptr);
+
+/// Renders the guest/host fragment pair of a statement (for the
+/// learn_rules example).
+std::string describeStatement(const TrainStmt &S);
+
+} // namespace rules
+} // namespace rdbt
+
+#endif // RDBT_RULES_LEARNER_H

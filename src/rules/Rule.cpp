@@ -1,0 +1,196 @@
+//===- rules/Rule.cpp - Learned translation rules ---------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rules/Rule.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace rdbt;
+using namespace rdbt::rules;
+using arm::Inst;
+using arm::Opcode;
+
+namespace {
+
+/// Binds register parameter \p P to \p Value, checking consistency.
+bool bindReg(Binding &B, bool Bound[], int8_t P, uint8_t Value) {
+  if (P < 0)
+    return true;
+  if (Bound[P])
+    return B.Reg[P] == Value;
+  Bound[P] = true;
+  B.Reg[P] = Value;
+  return true;
+}
+
+bool bindImm(Binding &B, bool Bound[], int8_t P, uint32_t Value,
+             uint32_t Exact) {
+  if (P < 0)
+    return Value == Exact;
+  if (Bound[P])
+    return B.Imm[P] == Value;
+  Bound[P] = true;
+  B.Imm[P] = Value;
+  return true;
+}
+
+bool shapeMatches(const RulePattern &Pat, const Inst &I) {
+  switch (Pat.Shape) {
+  case PatShape::DpImm:
+    return I.isDataProcessing() && I.Op2.IsImm;
+  case PatShape::DpReg:
+    return I.isDataProcessing() && !I.Op2.IsImm && !I.Op2.RegShift &&
+           I.Op2.ShiftImm == 0 && I.Op2.Shift == arm::ShiftKind::LSL;
+  case PatShape::DpRegShiftImm:
+    return I.isDataProcessing() && !I.Op2.IsImm && !I.Op2.RegShift &&
+           (I.Op2.ShiftImm != 0 || I.Op2.Shift != arm::ShiftKind::LSL);
+  case PatShape::Mul:
+    return I.Op == Opcode::MUL;
+  case PatShape::Mla:
+    return I.Op == Opcode::MLA;
+  case PatShape::MulLong:
+    return I.Op == Opcode::UMULL || I.Op == Opcode::SMULL;
+  case PatShape::Clz:
+    return I.Op == Opcode::CLZ;
+  }
+  return false;
+}
+
+} // namespace
+
+bool rules::matchRule(const Rule &R, const Inst *Insts, size_t Count,
+                      Binding &B) {
+  if (Count < R.Guest.size() || R.Guest.empty())
+    return false;
+
+  B = Binding();
+  bool RegBound[MaxRegParams] = {};
+  bool ImmBound[MaxImmParams] = {};
+  B.C = Insts[0].C;
+
+  for (size_t Idx = 0; Idx < R.Guest.size(); ++Idx) {
+    const RulePattern &Pat = R.Guest[Idx];
+    const Inst &I = Insts[Idx];
+    if (I.C != B.C)
+      return false; // multi-instruction rules must share the condition
+    if (!shapeMatches(Pat, I))
+      return false;
+    const bool S = I.SetFlags || I.isCompare();
+    if (S != Pat.SetFlags)
+      return false;
+    // PC-relative operands are resolved structurally, not by rules.
+    if (I.Rd == arm::RegPC ||
+        (!I.isCompare() && I.isDataProcessing() && false))
+      return false;
+    // Opcode class lookup.
+    assert(Pat.ClassIdx < R.Classes.size());
+    const auto &Class = R.Classes[Pat.ClassIdx];
+    size_t Entry = Class.size();
+    for (size_t E = 0; E < Class.size(); ++E)
+      if (Class[E].Guest == I.Op) {
+        Entry = E;
+        break;
+      }
+    if (Entry == Class.size())
+      return false;
+    if (Idx == 0)
+      B.ClassEntry = static_cast<unsigned>(Entry);
+    B.SetFlags = S;
+
+    // Field binding. Reject PC operands: rules keep registers pinned and
+    // r15 is synthesized by the translator.
+    const auto RejectPc = [](int8_t P, uint8_t V) {
+      return P >= 0 && V == arm::RegPC;
+    };
+    uint8_t RnV = I.Rn, RmV = 0, RsV = 0;
+    switch (Pat.Shape) {
+    case PatShape::DpImm:
+      if (!bindImm(B, ImmBound, Pat.ImmP, I.Op2.immValue(), Pat.ImmExact))
+        return false;
+      break;
+    case PatShape::DpReg:
+      RmV = I.Op2.Rm;
+      break;
+    case PatShape::DpRegShiftImm:
+      RmV = I.Op2.Rm;
+      if (I.Op2.Shift != Pat.Shift)
+        return false;
+      if (Pat.ShAmtP >= 0) {
+        if (!bindImm(B, ImmBound, Pat.ShAmtP, I.Op2.ShiftImm, 0))
+          return false;
+      } else if (I.Op2.ShiftImm != Pat.ShAmtExact) {
+        return false;
+      }
+      break;
+    case PatShape::Mul:
+    case PatShape::Mla:
+    case PatShape::MulLong:
+      RmV = I.Rm;
+      RsV = I.Rs;
+      break;
+    case PatShape::Clz:
+      RmV = I.Rm;
+      break;
+    }
+    if (RejectPc(Pat.Rd, I.Rd) || RejectPc(Pat.Rn, RnV) ||
+        RejectPc(Pat.Rm, RmV) || RejectPc(Pat.Rs, RsV))
+      return false;
+    if (!bindReg(B, RegBound, Pat.Rd, I.Rd) ||
+        !bindReg(B, RegBound, Pat.Rn, RnV) ||
+        !bindReg(B, RegBound, Pat.Rm, RmV) ||
+        !bindReg(B, RegBound, Pat.Rs, RsV))
+      return false;
+  }
+  for (const auto &[Pa, Pb] : R.Distinct)
+    if (B.Reg[Pa] == B.Reg[Pb])
+      return false;
+  return true;
+}
+
+void rules::emitRule(const Rule &R, const Binding &B, host::HostEmitter &E) {
+  const auto RegOf = [&](int8_t Operand) -> uint8_t {
+    if (Operand == OperandScratch)
+      return host::ScratchReg2;
+    assert(Operand >= 0 && Operand < static_cast<int8_t>(MaxRegParams));
+    return B.Reg[Operand]; // guest rN is pinned in host hN
+  };
+
+  for (const HostTemplateOp &T : R.Host) {
+    if (T.SkipIfDstEqSrc && RegOf(T.Dst) == RegOf(T.Src))
+      continue;
+    host::HInst H;
+    H.Op = T.UseClassHostOp ? R.Classes[R.Guest[0].ClassIdx][B.ClassEntry].Host
+                            : T.Op;
+    H.SetFlags = T.SetFlagsFromGuest ? B.SetFlags : T.SetFlags;
+    if (T.Dst != OperandNone)
+      H.Dst = RegOf(T.Dst);
+    if (T.Src != OperandNone)
+      H.Src = RegOf(T.Src);
+    if (T.Src2 != OperandNone)
+      H.Src2 = RegOf(T.Src2);
+    if (T.UseImm) {
+      H.UseImm = true;
+      H.Imm = static_cast<int32_t>(T.ImmP >= 0 ? B.Imm[T.ImmP] : T.ImmExact);
+    }
+    E.emit(H);
+  }
+}
+
+std::string rules::ruleToString(const Rule &R) {
+  std::string Text = format("rule %s (%zu guest -> %zu host%s%s)\n",
+                            R.Name.c_str(), R.Guest.size(), R.Host.size(),
+                            R.Verified ? ", verified" : "",
+                            R.DefinesFlags ? ", defines-flags" : "");
+  for (const auto &Class : R.Classes) {
+    Text += "  class {";
+    for (const OpClassEntry &CE : Class)
+      Text += format(" %s", arm::opcodeName(CE.Guest));
+    Text += " }\n";
+  }
+  return Text;
+}

@@ -1,0 +1,56 @@
+//===- rules/RuleSet.h - Rule collection and matcher ------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A prioritized rule collection with an opcode-indexed matcher. Rules
+/// are tried longest-pattern first, then in insertion order (specific
+/// before generic), exactly like the rule-application phase of §II-A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_RULES_RULESET_H
+#define RDBT_RULES_RULESET_H
+
+#include "rules/Rule.h"
+
+#include <array>
+
+namespace rdbt {
+namespace rules {
+
+class RuleSet {
+public:
+  void add(Rule R);
+
+  /// Finds the best rule matching the instruction sequence. Returns the
+  /// number of guest instructions consumed (0 = no match) and fills
+  /// \p MatchedRule / \p B.
+  size_t match(const arm::Inst *Insts, size_t Count, const Rule **MatchedRule,
+               Binding &B) const;
+
+  size_t size() const { return Rules.size(); }
+  const Rule &rule(size_t I) const { return Rules[I]; }
+
+  /// Dynamic match statistics (collected by the translator).
+  mutable uint64_t MatchAttempts = 0;
+  mutable uint64_t MatchHits = 0;
+
+private:
+  std::vector<Rule> Rules;
+  /// Rule indices bucketed by first guest opcode, longest pattern first.
+  std::array<std::vector<int>, 64> ByOpcode;
+};
+
+/// The hand-audited full-coverage rule set (the stand-in for the rule
+/// corpus of [2], which the paper reuses). The learning pipeline
+/// (Learner.h) regenerates an equivalent set from training programs; the
+/// tests assert the learned set covers this one.
+RuleSet buildReferenceRuleSet();
+
+} // namespace rules
+} // namespace rdbt
+
+#endif // RDBT_RULES_RULESET_H

@@ -1,0 +1,93 @@
+//===- rules/SymExec.h - Symbolic execution for rule verification -*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic-equivalence verifier of the learning pipeline (§II-A):
+/// candidate guest/host fragment pairs are executed symbolically — guest
+/// registers and incoming flags become shared symbolic variables — and
+/// the resulting expressions for every written register and flag are
+/// compared. Equivalence is established by expression normalization plus
+/// exhaustive evaluation over a structured + random vector set (the paper
+/// uses a full symbolic prover; see DESIGN.md for this substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_RULES_SYMEXEC_H
+#define RDBT_RULES_SYMEXEC_H
+
+#include "arm/Isa.h"
+#include "host/HostInst.h"
+
+#include <memory>
+#include <vector>
+
+namespace rdbt {
+namespace rules {
+
+/// Symbolic 32-bit expression.
+struct SymExpr {
+  enum class Kind : uint8_t {
+    Var,   ///< input variable (guest register or flag symbol)
+    Const,
+    Add, Sub, Adc2, ///< Adc2: A + B + CarryExpr (C field)
+    And, Or, Xor, Bic, Not,
+    Mul, MulHiU, MulHiS,
+    Shl, Shr, Sar, Ror,
+    Clz,
+    Eq,  ///< A == B ? 1 : 0
+    LtU, ///< A < B unsigned ? 1 : 0
+    Select, ///< C ? A : B
+  };
+  Kind K = Kind::Const;
+  uint32_t Value = 0; ///< Const value / Var id
+  std::shared_ptr<const SymExpr> A, B, C;
+};
+
+using ExprRef = std::shared_ptr<const SymExpr>;
+
+ExprRef symVar(uint32_t Id);
+ExprRef symConst(uint32_t Value);
+ExprRef symBin(SymExpr::Kind K, ExprRef A, ExprRef B);
+ExprRef symNot(ExprRef A);
+ExprRef symSelect(ExprRef C, ExprRef A, ExprRef B);
+ExprRef symAdc(ExprRef A, ExprRef B, ExprRef Carry);
+
+/// Evaluates \p E under an assignment of variable id -> value.
+uint32_t evalExpr(const SymExpr &E, const std::vector<uint32_t> &Vars);
+
+/// Variable ids: 0..15 guest registers (shared with the pinned host
+/// registers), 16..19 incoming N,Z,C,V (0/1 valued).
+enum : uint32_t { SymFlagN = 16, SymFlagZ, SymFlagC, SymFlagV, NumSymVars };
+
+/// A symbolic machine state (works for both guest and host sides because
+/// of the pinned register convention).
+struct SymState {
+  ExprRef Regs[host::NumHostRegs];
+  ExprRef N, Z, C, V;
+
+  /// Fresh state: register i = Var(i), flags = flag vars.
+  static SymState initial();
+};
+
+/// Executes one guest data-processing/multiply instruction symbolically.
+/// Returns false for instructions outside the verifiable subset.
+bool symExecGuest(const arm::Inst &I, SymState &S);
+
+/// Executes one host instruction symbolically (straight-line subset plus
+/// a single forward Jcc diamond is handled by the caller). Returns false
+/// for unsupported host ops.
+bool symExecHost(const host::HInst &H, SymState &S);
+
+/// Checks observational equivalence of two states over the written
+/// registers in \p RegMask and, if \p CheckFlags, the four flags.
+/// Normalization plus evaluation over structured + random vectors.
+bool statesEquivalent(const SymState &Guest, const SymState &Host,
+                      uint16_t RegMask, bool CheckFlags);
+
+} // namespace rules
+} // namespace rdbt
+
+#endif // RDBT_RULES_SYMEXEC_H

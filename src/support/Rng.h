@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64-based deterministic RNG. Used by the workload generators,
+/// the property-based tests and the symbolic-execution cross-checker so
+/// that every run of the repository is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_SUPPORT_RNG_H
+#define RDBT_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace rdbt {
+
+/// Deterministic 64-bit RNG (SplitMix64). Cheap, seedable, and good enough
+/// for workload shuffling and randomized testing; not cryptographic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next64() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns the next 32-bit pseudo-random value.
+  uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+  /// Returns a value uniformly distributed in [0, Bound). \p Bound > 0.
+  uint32_t below(uint32_t Bound) { return next32() % Bound; }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  uint32_t range(uint32_t Lo, uint32_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rdbt
+
+#endif // RDBT_SUPPORT_RNG_H

@@ -1,0 +1,145 @@
+//===- sys/Env.cpp - Guest CPU state ---------------------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sys/Env.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace rdbt;
+using namespace rdbt::sys;
+
+void sys::resetEnv(CpuEnv &Env) {
+  std::memset(&Env, 0, sizeof(CpuEnv));
+  Env.Mode = ModeSvc;
+  Env.IrqDisabled = 1;
+  Env.MmuIdx = 0;
+  for (auto &Half : Env.Tlb)
+    for (auto &E : Half) {
+      E.TagRead = TlbInvalidTag;
+      E.TagWrite = TlbInvalidTag;
+    }
+}
+
+uint32_t sys::packFlags(const CpuEnv &Env) {
+  return (Env.NF ? CpsrN : 0u) | (Env.ZF ? CpsrZ : 0u) |
+         (Env.CF ? CpsrC : 0u) | (Env.VF ? CpsrV : 0u);
+}
+
+void sys::unpackFlags(CpuEnv &Env, uint32_t Nzcv) {
+  Env.NF = (Nzcv & CpsrN) ? 1 : 0;
+  Env.ZF = (Nzcv & CpsrZ) ? 1 : 0;
+  Env.CF = (Nzcv & CpsrC) ? 1 : 0;
+  Env.VF = (Nzcv & CpsrV) ? 1 : 0;
+}
+
+bool sys::materializeFlags(CpuEnv &Env) {
+  if (!Env.CcrPacked)
+    return false;
+  unpackFlags(Env, Env.PackedCcr);
+  Env.CcrPacked = 0;
+  return true;
+}
+
+uint32_t sys::cpsrRead(CpuEnv &Env) {
+  materializeFlags(Env);
+  return packFlags(Env) | (Env.IrqDisabled ? CpsrI : 0u) | Env.Mode;
+}
+
+static uint32_t bankIndex(uint32_t Mode) {
+  switch (Mode) {
+  case ModeUsr:
+    return 0;
+  case ModeSvc:
+    return 1;
+  case ModeIrq:
+    return 2;
+  }
+  assert(false && "unmodelled processor mode");
+  return 0;
+}
+
+void sys::switchMode(CpuEnv &Env, uint32_t NewMode) {
+  if (NewMode == Env.Mode)
+    return;
+  uint32_t *Banks[3][2] = {
+      {&Env.SpUsr, &Env.LrUsr},
+      {&Env.SpSvc, &Env.LrSvc},
+      {&Env.SpIrq, &Env.LrIrq},
+  };
+  const uint32_t Old = bankIndex(Env.Mode);
+  const uint32_t New = bankIndex(NewMode);
+  *Banks[Old][0] = Env.Regs[13];
+  *Banks[Old][1] = Env.Regs[14];
+  Env.Regs[13] = *Banks[New][0];
+  Env.Regs[14] = *Banks[New][1];
+  Env.Mode = NewMode;
+  Env.MmuIdx = (NewMode == ModeUsr) ? 1 : 0;
+}
+
+uint32_t &sys::currentSpsr(CpuEnv &Env) {
+  static uint32_t Dummy = 0;
+  switch (Env.Mode) {
+  case ModeSvc:
+    return Env.SpsrSvc;
+  case ModeIrq:
+    return Env.SpsrIrq;
+  default:
+    // Reading SPSR in user mode is unpredictable on real hardware; we
+    // return a sink so the emulator stays deterministic.
+    Dummy = 0;
+    return Dummy;
+  }
+}
+
+void sys::cpsrWrite(CpuEnv &Env, uint32_t Value, uint8_t Mask) {
+  if (Mask & 0x8) {
+    unpackFlags(Env, Value);
+    // Keep the packed side slot coherent so the rule translator's packed
+    // sync-restore (III-B) can always trust it (see DESIGN.md).
+    Env.PackedCcr = Value & (CpsrN | CpsrZ | CpsrC | CpsrV);
+    Env.CcrPacked = 0;
+  }
+  if (Mask & 0x1) {
+    Env.IrqDisabled = (Value & CpsrI) ? 1 : 0;
+    switchMode(Env, Value & CpsrModeMask);
+  }
+}
+
+void sys::takeException(CpuEnv &Env, ExcKind Kind, uint32_t Pc) {
+  const uint32_t OldCpsr = cpsrRead(Env);
+  uint32_t NewMode = ModeSvc;
+  uint32_t ReturnOffset = 4;
+  uint32_t VectorOffset = 0;
+  switch (Kind) {
+  case ExcKind::Undef:
+    VectorOffset = 0x04;
+    ReturnOffset = 4;
+    break;
+  case ExcKind::Svc:
+    VectorOffset = 0x08;
+    ReturnOffset = 4;
+    break;
+  case ExcKind::PrefetchAbort:
+    VectorOffset = 0x0C;
+    ReturnOffset = 4;
+    break;
+  case ExcKind::DataAbort:
+    VectorOffset = 0x10;
+    ReturnOffset = 8;
+    break;
+  case ExcKind::Irq:
+    VectorOffset = 0x18;
+    ReturnOffset = 4;
+    NewMode = ModeIrq;
+    break;
+  }
+  switchMode(Env, NewMode);
+  currentSpsr(Env) = OldCpsr;
+  Env.Regs[14] = Pc + ReturnOffset;
+  Env.IrqDisabled = 1;
+  Env.Regs[15] = Env.Vbar + VectorOffset;
+}

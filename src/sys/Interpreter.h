@@ -1,0 +1,99 @@
+//===- sys/Interpreter.h - ARM reference interpreter ------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural reference interpreter. It serves three roles:
+///
+///  1. the golden model the differential tests compare both translators
+///     against,
+///  2. the emulation core behind the DBT "helper functions" that both
+///     translators call for system-level instructions (the paper's QEMU
+///     helper path), and
+///  3. the "native execution" stand-in for Fig. 18 (one guest instruction
+///     = one native cycle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_SYS_INTERPRETER_H
+#define RDBT_SYS_INTERPRETER_H
+
+#include "arm/Isa.h"
+#include "sys/Env.h"
+#include "sys/Mmu.h"
+#include "sys/Platform.h"
+
+namespace rdbt {
+namespace sys {
+
+/// Outcome of executing one instruction.
+enum class StepKind : uint8_t {
+  Ok,        ///< retired; Regs[15] advanced (possibly a taken branch)
+  Exception, ///< an exception was delivered; Regs[15] is the vector
+  Halt,      ///< WFI executed; Env.Halted is set
+};
+
+class Interpreter {
+public:
+  Interpreter(CpuEnv &E, Mmu &M, Platform &P)
+      : Env(E), Mem(M), Board(P) {}
+
+  /// Fetches, decodes and executes the instruction at Regs[15].
+  StepKind step();
+
+  /// Executes a pre-decoded instruction sitting at \p Pc (Regs[15] is set
+  /// to \p Pc first). Used by the DBT helper path.
+  StepKind execute(const arm::Inst &I, uint32_t Pc);
+
+  /// Delivers a pending enabled IRQ if the core state allows it. Returns
+  /// true if the exception was taken. Wakes a halted core.
+  bool maybeTakeIrq();
+
+  uint64_t InstrsRetired = 0;
+
+private:
+  CpuEnv &Env;
+  Mmu &Mem;
+  Platform &Board;
+
+  bool conditionHolds(arm::Cond C);
+  uint32_t readReg(unsigned R, uint32_t Pc);
+  /// Evaluates operand 2; \p ShifterCarry starts as the current C flag and
+  /// is updated per the ARM shifter rules.
+  uint32_t evalOperand2(const arm::Inst &I, uint32_t Pc,
+                        bool &ShifterCarry);
+
+  StepKind execDataProcessing(const arm::Inst &I, uint32_t Pc);
+  StepKind execMultiply(const arm::Inst &I, uint32_t Pc);
+  StepKind execLoadStore(const arm::Inst &I, uint32_t Pc);
+  StepKind execBlockTransfer(const arm::Inst &I, uint32_t Pc);
+  StepKind execBranch(const arm::Inst &I, uint32_t Pc);
+  StepKind execSystem(const arm::Inst &I, uint32_t Pc);
+
+  StepKind dataAbort(const Fault &F, uint32_t Pc);
+  StepKind undefined(uint32_t Pc);
+  /// Writes \p Value to PC as a branch (bit 0 ignored; no mode change).
+  StepKind branchTo(uint32_t Target);
+  /// Exception return: PC := Target, CPSR := SPSR of the current mode.
+  StepKind exceptionReturn(uint32_t Target, uint32_t Pc);
+};
+
+/// Result of running the interpreter as a whole-system executor.
+struct SystemRunResult {
+  bool Shutdown = false;   ///< guest powered off cleanly
+  bool Deadlocked = false; ///< WFI with nothing to wake the core
+  uint64_t InstrsRetired = 0;
+};
+
+/// Runs a platform purely under the interpreter until the guest shuts
+/// down or \p MaxInstrs retire. The wall clock advances one cycle per
+/// instruction, making this the "native execution" baseline of Fig. 18
+/// and the golden model of the differential tests.
+SystemRunResult runSystemInterpreter(Platform &Board, uint64_t MaxInstrs);
+
+} // namespace sys
+} // namespace rdbt
+
+#endif // RDBT_SYS_INTERPRETER_H

@@ -1,0 +1,102 @@
+//===- sys/Mmu.h - ARM short-descriptor MMU + software TLB ------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest memory management unit: ARM short-descriptor page tables
+/// (1 MiB sections and 4 KiB small pages, a 2-bit AP permission model)
+/// plus the direct-mapped software TLB held inside \ref CpuEnv that
+/// generated host code probes inline — the QEMU softmmu design the paper's
+/// "address translation" context switches revolve around.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_SYS_MMU_H
+#define RDBT_SYS_MMU_H
+
+#include "sys/Env.h"
+#include "sys/Platform.h"
+
+namespace rdbt {
+namespace sys {
+
+/// Access kinds for translation and fault reporting.
+enum class AccessKind : uint8_t { Read = 0, Write = 1, Execute = 2 };
+
+/// ARM FSR status codes we report.
+enum : uint32_t {
+  FsrAlignment = 0x1,
+  FsrTranslationSection = 0x5,
+  FsrTranslationPage = 0x7,
+  FsrPermissionSection = 0xD,
+  FsrPermissionPage = 0xF,
+  FsrExternal = 0x8, ///< access outside RAM/MMIO
+};
+
+/// Result of a failed translation.
+struct Fault {
+  bool IsFault = false;
+  uint32_t Fsr = 0;
+  uint32_t Far = 0;
+};
+
+/// SCTLR bits.
+enum : uint32_t { SctlrMmuEnable = 1u };
+
+/// Page table entry type bits (short-descriptor format).
+enum : uint32_t {
+  L1TypeFault = 0,
+  L1TypeTable = 1,
+  L1TypeSection = 2,
+  L2TypeSmall = 2,
+};
+
+/// The MMU bound to one env and one platform. Stateless apart from the
+/// TLB that lives in the env (so generated code and C++ agree).
+class Mmu {
+public:
+  Mmu(CpuEnv &E, Platform &P) : Env(E), Board(P) {}
+
+  /// Full table walk (no TLB). On success sets \p Pa. On failure fills
+  /// \p F. \p WalkAccesses counts page-table memory reads (cost hook).
+  bool translate(uint32_t Va, AccessKind Kind, bool Privileged, uint32_t &Pa,
+                 Fault &F, unsigned &WalkAccesses);
+
+  /// Walks and installs the TLB entry for Va's page in the current
+  /// MmuIdx half. Returns false (and fills \p F) on a fault.
+  bool fillTlb(uint32_t Va, AccessKind Kind, Fault &F,
+               unsigned &WalkAccesses);
+
+  /// Invalidates both TLB halves (TLBIALL, TTBR/SCTLR writes).
+  void flushTlb();
+
+  /// Virtual read/write through the TLB with walk-on-miss; the slow-path
+  /// equivalent of the generated inline probe, used by the interpreter
+  /// and by DBT helpers. MMIO is routed to devices.
+  bool readVirt(uint32_t Va, unsigned Size, uint32_t &Value, Fault &F);
+  bool writeVirt(uint32_t Va, unsigned Size, uint32_t Value, Fault &F);
+
+  /// Instruction fetch (translate + read, Execute permission).
+  bool fetchWord(uint32_t Va, uint32_t &Word, Fault &F);
+
+  /// TLB statistics (reset by the owner between runs).
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+private:
+  CpuEnv &Env;
+  Platform &Board;
+
+  TlbEntry &entryFor(uint32_t Va) {
+    return Env.Tlb[Env.MmuIdx][(Va >> 12) & (TlbSize - 1)];
+  }
+  bool access(uint32_t Va, unsigned Size, uint32_t &Value, bool IsWrite,
+              Fault &F);
+};
+
+} // namespace sys
+} // namespace rdbt
+
+#endif // RDBT_SYS_MMU_H

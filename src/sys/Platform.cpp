@@ -1,0 +1,307 @@
+//===- sys/Platform.cpp - Guest physical memory, devices, clock -----------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sys/Platform.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace rdbt;
+using namespace rdbt::sys;
+
+uint32_t PhysMem::read(uint32_t Pa, unsigned Size) const {
+  assert(contains(Pa, Size) && "physical read out of RAM");
+  uint32_t Value = 0;
+  std::memcpy(&Value, &Bytes[Pa], Size);
+  return Value;
+}
+
+void PhysMem::write(uint32_t Pa, unsigned Size, uint32_t Value) {
+  assert(contains(Pa, Size) && "physical write out of RAM");
+  std::memcpy(&Bytes[Pa], &Value, Size);
+}
+
+void PhysMem::writeBlock(uint32_t Pa, const void *Src, uint32_t Len) {
+  assert(contains(Pa, Len) && "physical block write out of RAM");
+  std::memcpy(&Bytes[Pa], Src, Len);
+}
+
+void PhysMem::readBlock(uint32_t Pa, void *Dst, uint32_t Len) const {
+  assert(contains(Pa, Len) && "physical block read out of RAM");
+  std::memcpy(Dst, &Bytes[Pa], Len);
+}
+
+void PhysMem::loadWords(uint32_t Pa, const std::vector<uint32_t> &Words) {
+  writeBlock(Pa, Words.data(), static_cast<uint32_t>(Words.size() * 4));
+}
+
+Device::~Device() = default;
+
+//===----------------------------------------------------------------------===//
+// IntController
+//===----------------------------------------------------------------------===//
+
+uint32_t IntController::mmioRead(uint32_t Offset) {
+  switch (Offset) {
+  case RegPending:
+    return pending();
+  case RegEnable:
+    return Enabled;
+  case RegRaw:
+    return Raw;
+  default:
+    return 0;
+  }
+}
+
+void IntController::mmioWrite(uint32_t Offset, uint32_t Value) {
+  switch (Offset) {
+  case RegEnable:
+    Enabled = Value;
+    break;
+  case RegAck:
+    Raw &= ~(1u << (Value & 31));
+    break;
+  default:
+    break;
+  }
+  Parent.refreshIrq();
+}
+
+void IntController::raise(uint32_t Line) {
+  Raw |= 1u << Line;
+  Parent.refreshIrq();
+}
+
+void IntController::clear(uint32_t Line) {
+  Raw &= ~(1u << Line);
+  Parent.refreshIrq();
+}
+
+//===----------------------------------------------------------------------===//
+// Uart
+//===----------------------------------------------------------------------===//
+
+uint32_t Uart::mmioRead(uint32_t Offset) {
+  switch (Offset) {
+  case RegRx: {
+    if (RxQueue.empty())
+      return 0;
+    const uint8_t Byte = RxQueue.front();
+    RxQueue.pop_front();
+    if (RxQueue.empty())
+      Parent.intc().clear(IrqLineUart);
+    return Byte;
+  }
+  case RegStatus:
+    return RxQueue.empty() ? 0u : 1u;
+  default:
+    return 0;
+  }
+}
+
+void Uart::mmioWrite(uint32_t Offset, uint32_t Value) {
+  if (Offset == RegTx)
+    Output.push_back(static_cast<char>(Value & 0xFF));
+  else if (Offset == RegShutdown)
+    Parent.ShutdownRequested = true;
+}
+
+void Uart::feedInput(const std::string &Text) {
+  for (char Ch : Text)
+    RxQueue.push_back(static_cast<uint8_t>(Ch));
+  if (!RxQueue.empty())
+    Parent.intc().raise(IrqLineUart);
+}
+
+//===----------------------------------------------------------------------===//
+// TimerDevice
+//===----------------------------------------------------------------------===//
+
+uint32_t TimerDevice::mmioRead(uint32_t Offset) {
+  switch (Offset) {
+  case RegCtrl:
+    return Enabled ? 1u : 0u;
+  case RegInterval:
+    return Interval;
+  case RegCount:
+    return static_cast<uint32_t>(Parent.now());
+  default:
+    return 0;
+  }
+}
+
+void TimerDevice::mmioWrite(uint32_t Offset, uint32_t Value) {
+  switch (Offset) {
+  case RegCtrl:
+    Enabled = (Value & 1) != 0;
+    Deadline = Enabled && Interval ? Parent.now() + Interval : ~0ull;
+    break;
+  case RegInterval:
+    Interval = Value;
+    if (Enabled && Interval)
+      Deadline = Parent.now() + Interval;
+    break;
+  default:
+    break;
+  }
+}
+
+uint64_t TimerDevice::nextDeadline() const { return Deadline; }
+
+void TimerDevice::onDeadline() {
+  ++Ticks;
+  Parent.intc().raise(IrqLineTimer);
+  Deadline = Interval ? Parent.now() + Interval : ~0ull;
+}
+
+//===----------------------------------------------------------------------===//
+// DiskDevice
+//===----------------------------------------------------------------------===//
+
+uint32_t DiskDevice::mmioRead(uint32_t Offset) {
+  switch (Offset) {
+  case RegSector:
+    return Sector;
+  case RegDmaAddr:
+    return DmaAddr;
+  case RegCount:
+    return Count;
+  case RegStatus:
+    return PendingCmd ? 1u : 0u;
+  default:
+    return 0;
+  }
+}
+
+void DiskDevice::mmioWrite(uint32_t Offset, uint32_t Value) {
+  switch (Offset) {
+  case RegSector:
+    Sector = Value;
+    break;
+  case RegDmaAddr:
+    DmaAddr = Value;
+    break;
+  case RegCount:
+    Count = Value ? Value : 1;
+    break;
+  case RegCmd:
+    if (PendingCmd || (Value != CmdRead && Value != CmdWrite))
+      return;
+    PendingCmd = Value;
+    Deadline = Parent.now() + Latency * Count;
+    break;
+  default:
+    break;
+  }
+}
+
+uint64_t DiskDevice::nextDeadline() const { return Deadline; }
+
+void DiskDevice::onDeadline() {
+  const uint32_t Bytes = Count * SectorSize;
+  const uint32_t MediaOff = Sector * SectorSize;
+  if (MediaOff + Bytes <= Media.size() &&
+      Parent.Ram.contains(DmaAddr, Bytes)) {
+    if (PendingCmd == CmdRead)
+      Parent.Ram.writeBlock(DmaAddr, &Media[MediaOff], Bytes);
+    else
+      Parent.Ram.readBlock(DmaAddr, &Media[MediaOff], Bytes);
+  }
+  PendingCmd = 0;
+  Deadline = ~0ull;
+  Parent.intc().raise(IrqLineDisk);
+}
+
+//===----------------------------------------------------------------------===//
+// Platform
+//===----------------------------------------------------------------------===//
+
+Platform::Platform(uint32_t RamSize, uint32_t DiskSectors,
+                   uint64_t DiskLatency)
+    : Ram(RamSize) {
+  resetEnv(Env);
+  UartDev = std::make_unique<Uart>(*this, MmioUart);
+  Intc = std::make_unique<IntController>(*this, MmioIntc);
+  Timer = std::make_unique<TimerDevice>(*this, MmioTimer);
+  Disk = std::make_unique<DiskDevice>(*this, MmioDisk, DiskSectors,
+                                      DiskLatency);
+  Devices[0] = UartDev.get();
+  Devices[1] = Intc.get();
+  Devices[2] = Timer.get();
+  Devices[3] = Disk.get();
+}
+
+void Platform::refreshIrq() {
+  Env.IrqPending = Intc->pending() ? 1u : 0u;
+  if (Env.IrqPending && !Env.IrqDisabled)
+    Env.ExitRequest = 1;
+}
+
+void Platform::advance(uint64_t Cycles) {
+  Now += Cycles;
+  // Service all deadlines that have become due (devices may re-arm).
+  for (bool Fired = true; Fired;) {
+    Fired = false;
+    for (Device *D : Devices) {
+      if (D->nextDeadline() <= Now) {
+        D->onDeadline();
+        Fired = true;
+      }
+    }
+  }
+}
+
+uint64_t Platform::nextDeadline() const {
+  uint64_t Min = ~0ull;
+  for (const Device *D : Devices)
+    Min = D->nextDeadline() < Min ? D->nextDeadline() : Min;
+  return Min;
+}
+
+uint64_t Platform::fastForward() {
+  const uint64_t Deadline = nextDeadline();
+  if (Deadline == ~0ull || Deadline <= Now)
+    return 0;
+  const uint64_t Skipped = Deadline - Now;
+  advance(Skipped);
+  return Skipped;
+}
+
+Device *Platform::deviceAt(uint32_t Pa) {
+  for (Device *D : Devices)
+    if (Pa >= D->base() && Pa < D->base() + 0x1000)
+      return D;
+  return nullptr;
+}
+
+bool Platform::physRead(uint32_t Pa, unsigned Size, uint32_t &Value) {
+  if (isIoPage(Pa)) {
+    Device *D = deviceAt(Pa);
+    if (!D)
+      return false;
+    Value = D->mmioRead(Pa - D->base());
+    return true;
+  }
+  if (!Ram.contains(Pa, Size))
+    return false;
+  Value = Ram.read(Pa, Size);
+  return true;
+}
+
+bool Platform::physWrite(uint32_t Pa, unsigned Size, uint32_t Value) {
+  if (isIoPage(Pa)) {
+    Device *D = deviceAt(Pa);
+    if (!D)
+      return false;
+    D->mmioWrite(Pa - D->base(), Value);
+    return true;
+  }
+  if (!Ram.contains(Pa, Size))
+    return false;
+  Ram.write(Pa, Size, Value);
+  return true;
+}

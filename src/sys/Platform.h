@@ -1,0 +1,250 @@
+//===- sys/Platform.h - Guest physical memory, devices, clock ---*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The emulated board: guest RAM, the MMIO device set (UART console,
+/// interrupt controller, periodic timer, DMA block device), and the
+/// virtual wall clock that drives asynchronous interrupts.
+///
+/// The wall clock advances with emulation cost (host instructions
+/// executed), so a slower translator observes proportionally more timer
+/// interrupts per guest instruction — as on real hardware. Device
+/// latencies (disk) are wall-clock deadlines, which is what makes the
+/// I/O-bound workloads of Fig. 19 insensitive to translator quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_SYS_PLATFORM_H
+#define RDBT_SYS_PLATFORM_H
+
+#include "sys/Env.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rdbt {
+namespace sys {
+
+/// Flat guest RAM starting at physical address 0.
+class PhysMem {
+public:
+  explicit PhysMem(uint32_t Size) : Bytes(Size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+
+  bool contains(uint32_t Pa, uint32_t Len) const {
+    return Pa + Len <= Bytes.size() && Pa + Len >= Pa;
+  }
+
+  /// Reads a naturally-aligned 1/2/4-byte value (little endian).
+  uint32_t read(uint32_t Pa, unsigned Size) const;
+  void write(uint32_t Pa, unsigned Size, uint32_t Value);
+
+  void writeBlock(uint32_t Pa, const void *Src, uint32_t Len);
+  void readBlock(uint32_t Pa, void *Dst, uint32_t Len) const;
+
+  /// Loads a word image (e.g. AsmBuilder::finish output) at \p Pa.
+  void loadWords(uint32_t Pa, const std::vector<uint32_t> &Words);
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+class Platform;
+
+/// Base class for MMIO devices. Each device occupies a 4 KiB page.
+class Device {
+public:
+  Device(Platform &P, uint32_t Base) : Parent(P), BaseAddr(Base) {}
+  virtual ~Device();
+
+  uint32_t base() const { return BaseAddr; }
+  virtual const char *name() const = 0;
+  virtual uint32_t mmioRead(uint32_t Offset) = 0;
+  virtual void mmioWrite(uint32_t Offset, uint32_t Value) = 0;
+  /// Earliest wall-clock time this device needs service, or ~0ull.
+  virtual uint64_t nextDeadline() const { return ~0ull; }
+  /// Called when the wall clock reaches nextDeadline().
+  virtual void onDeadline() {}
+
+protected:
+  Platform &Parent;
+  uint32_t BaseAddr;
+};
+
+/// Interrupt lines.
+enum : uint32_t { IrqLineTimer = 0, IrqLineUart = 1, IrqLineDisk = 2 };
+
+/// A minimal level-triggered interrupt controller.
+class IntController : public Device {
+public:
+  enum : uint32_t { RegPending = 0x0, RegEnable = 0x4, RegAck = 0x8,
+                    RegRaw = 0xC };
+
+  using Device::Device;
+  const char *name() const override { return "intc"; }
+  uint32_t mmioRead(uint32_t Offset) override;
+  void mmioWrite(uint32_t Offset, uint32_t Value) override;
+
+  void raise(uint32_t Line);
+  void clear(uint32_t Line);
+  /// Raw & Enabled.
+  uint32_t pending() const { return Raw & Enabled; }
+
+private:
+  uint32_t Raw = 0;
+  uint32_t Enabled = 0;
+};
+
+/// Console UART. TX bytes accumulate into \ref output(); RX is a host-fed
+/// queue that raises IrqLineUart while non-empty.
+class Uart : public Device {
+public:
+  enum : uint32_t { RegTx = 0x0, RegRx = 0x4, RegStatus = 0x8,
+                    RegShutdown = 0xC };
+
+  using Device::Device;
+  const char *name() const override { return "uart"; }
+  uint32_t mmioRead(uint32_t Offset) override;
+  void mmioWrite(uint32_t Offset, uint32_t Value) override;
+
+  const std::string &output() const { return Output; }
+  void feedInput(const std::string &Text);
+
+private:
+  std::string Output;
+  std::deque<uint8_t> RxQueue;
+};
+
+/// Periodic timer raising IrqLineTimer every `Interval` wall cycles.
+class TimerDevice : public Device {
+public:
+  enum : uint32_t { RegCtrl = 0x0, RegInterval = 0x4, RegCount = 0x8 };
+
+  using Device::Device;
+  const char *name() const override { return "timer"; }
+  uint32_t mmioRead(uint32_t Offset) override;
+  void mmioWrite(uint32_t Offset, uint32_t Value) override;
+  uint64_t nextDeadline() const override;
+  void onDeadline() override;
+
+  uint64_t ticks() const { return Ticks; }
+
+private:
+  bool Enabled = false;
+  uint32_t Interval = 0;
+  uint64_t Deadline = ~0ull;
+  uint64_t Ticks = 0;
+};
+
+/// DMA block device with a wall-clock access latency. Sector size 512.
+class DiskDevice : public Device {
+public:
+  enum : uint32_t {
+    RegSector = 0x0,
+    RegDmaAddr = 0x4,
+    RegCount = 0x8,
+    RegCmd = 0xC,
+    RegStatus = 0x10,
+  };
+  enum : uint32_t { CmdRead = 1, CmdWrite = 2 };
+  enum : uint32_t { SectorSize = 512 };
+
+  DiskDevice(Platform &P, uint32_t Base, uint32_t NumSectors,
+             uint64_t LatencyPerSector)
+      : Device(P, Base), Media(NumSectors * SectorSize, 0),
+        Latency(LatencyPerSector) {}
+
+  const char *name() const override { return "disk"; }
+  uint32_t mmioRead(uint32_t Offset) override;
+  void mmioWrite(uint32_t Offset, uint32_t Value) override;
+  uint64_t nextDeadline() const override;
+  void onDeadline() override;
+
+  /// Host-side access to the media for preloading images.
+  std::vector<uint8_t> &media() { return Media; }
+
+private:
+  std::vector<uint8_t> Media;
+  uint64_t Latency;
+  uint32_t Sector = 0, DmaAddr = 0, Count = 1;
+  uint32_t PendingCmd = 0;
+  uint64_t Deadline = ~0ull;
+};
+
+/// MMIO window layout.
+enum : uint32_t {
+  MmioBase = 0xF0000000u,
+  MmioUart = 0xF0000000u,
+  MmioIntc = 0xF0001000u,
+  MmioTimer = 0xF0002000u,
+  MmioDisk = 0xF0003000u,
+  MmioLimit = 0xF0004000u,
+};
+
+/// The whole board: env + RAM + devices + wall clock.
+class Platform {
+public:
+  /// \p RamSize guest RAM bytes; \p DiskSectors size of the block device;
+  /// \p DiskLatency wall cycles per sector access.
+  explicit Platform(uint32_t RamSize, uint32_t DiskSectors = 4096,
+                    uint64_t DiskLatency = 50000);
+
+  CpuEnv Env;
+  PhysMem Ram;
+  /// Set when the guest writes the UART shutdown register (the guest
+  /// kernel's "power off"); the engine stops cleanly.
+  bool ShutdownRequested = false;
+
+  Uart &uart() { return *UartDev; }
+  IntController &intc() { return *Intc; }
+  TimerDevice &timer() { return *Timer; }
+  DiskDevice &disk() { return *Disk; }
+
+  // --- Wall clock ---------------------------------------------------------
+
+  uint64_t now() const { return Now; }
+  /// Advances the wall clock and services due device deadlines.
+  void advance(uint64_t Cycles);
+  /// Earliest pending device deadline (~0ull if none).
+  uint64_t nextDeadline() const;
+  /// Jumps the clock to the next deadline (WFI sleep). Returns the number
+  /// of cycles skipped.
+  uint64_t fastForward();
+
+  /// Recomputes Env.IrqPending/ExitRequest from controller state. Called
+  /// by devices and by the CPSR-write paths that unmask IRQs.
+  void refreshIrq();
+
+  // --- Physical address space ---------------------------------------------
+
+  bool isIoPage(uint32_t Pa) const {
+    return Pa >= MmioBase && Pa < MmioLimit;
+  }
+  /// Physical read/write with MMIO routing. Returns false for holes.
+  bool physRead(uint32_t Pa, unsigned Size, uint32_t &Value);
+  bool physWrite(uint32_t Pa, unsigned Size, uint32_t Value);
+
+private:
+  friend class IntController;
+
+  std::unique_ptr<Uart> UartDev;
+  std::unique_ptr<IntController> Intc;
+  std::unique_ptr<TimerDevice> Timer;
+  std::unique_ptr<DiskDevice> Disk;
+  Device *Devices[4];
+  uint64_t Now = 0;
+
+  Device *deviceAt(uint32_t Pa);
+};
+
+} // namespace sys
+} // namespace rdbt
+
+#endif // RDBT_SYS_PLATFORM_H

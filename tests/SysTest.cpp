@@ -1,0 +1,333 @@
+//===- tests/SysTest.cpp - System substrate unit tests ---------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the system substrate: env/CPSR/banking, MMU walks and
+/// permissions, the software TLB, devices and the wall clock, and the
+/// interpreter's architectural corner cases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arm/AsmBuilder.h"
+#include "sys/Interpreter.h"
+#include "sys/Mmu.h"
+#include "sys/Platform.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdbt;
+using namespace rdbt::sys;
+using namespace rdbt::arm;
+
+namespace {
+
+TEST(Env, ModeSwitchBanksSpLr) {
+  CpuEnv Env;
+  resetEnv(Env);
+  Env.Regs[13] = 0x1000; // SVC sp
+  Env.Regs[14] = 0x2000;
+  switchMode(Env, ModeUsr);
+  Env.Regs[13] = 0x3000;
+  switchMode(Env, ModeIrq);
+  Env.Regs[13] = 0x4000;
+  switchMode(Env, ModeSvc);
+  EXPECT_EQ(Env.Regs[13], 0x1000u);
+  EXPECT_EQ(Env.Regs[14], 0x2000u);
+  switchMode(Env, ModeUsr);
+  EXPECT_EQ(Env.Regs[13], 0x3000u);
+  EXPECT_EQ(Env.MmuIdx, 1u);
+}
+
+TEST(Env, PackedCcrMaterialization) {
+  CpuEnv Env;
+  resetEnv(Env);
+  Env.PackedCcr = CpsrN | CpsrC;
+  Env.CcrPacked = 1;
+  EXPECT_TRUE(materializeFlags(Env));
+  EXPECT_EQ(Env.NF, 1u);
+  EXPECT_EQ(Env.ZF, 0u);
+  EXPECT_EQ(Env.CF, 1u);
+  EXPECT_FALSE(materializeFlags(Env)) << "second parse must be a no-op";
+  EXPECT_EQ(cpsrRead(Env) & (CpsrN | CpsrZ | CpsrC | CpsrV), CpsrN | CpsrC);
+}
+
+TEST(Env, ExceptionEntryAndSpsr) {
+  CpuEnv Env;
+  resetEnv(Env);
+  switchMode(Env, ModeUsr);
+  Env.IrqDisabled = 0;
+  Env.NF = 1;
+  Env.Regs[15] = 0x1234;
+  Env.Vbar = 0;
+  takeException(Env, ExcKind::Irq, 0x1234);
+  EXPECT_EQ(Env.Mode, ModeIrq);
+  EXPECT_EQ(Env.Regs[15], 0x18u);
+  EXPECT_EQ(Env.Regs[14], 0x1238u);
+  EXPECT_EQ(Env.IrqDisabled, 1u);
+  EXPECT_TRUE(Env.SpsrIrq & CpsrN);
+  EXPECT_EQ(Env.SpsrIrq & CpsrModeMask, ModeUsr);
+}
+
+class MmuFixture : public ::testing::Test {
+protected:
+  MmuFixture() : Board(8 << 20), Mmu_(Board.Env, Board) {}
+
+  /// Builds: section 0 priv RW identity; section at 1 MiB user RW mapped
+  /// to 2 MiB; L2 page table for VA 3 MiB with one read-only user page.
+  void buildTables() {
+    const uint32_t L1 = 0x8000;
+    Board.Env.Ttbr0 = L1;
+    Board.Ram.write(L1 + 0 * 4, 4, 0x00000000u | (1u << 10) | 2u);
+    Board.Ram.write(L1 + 1 * 4, 4, 0x00200000u | (3u << 10) | 2u);
+    const uint32_t L2 = 0xC000;
+    Board.Ram.write(L1 + 3 * 4, 4, L2 | 1u);
+    Board.Ram.write(L2 + 0 * 4, 4, 0x00300000u | (2u << 4) | 2u);
+    Board.Env.Sctlr = SctlrMmuEnable;
+  }
+
+  sys::Platform Board;
+  Mmu Mmu_;
+};
+
+TEST_F(MmuFixture, DisabledMmuIsIdentity) {
+  uint32_t Pa = 1;
+  Fault F;
+  unsigned Walk = 0;
+  ASSERT_TRUE(Mmu_.translate(0x12345678, AccessKind::Read, true, Pa, F,
+                             Walk));
+  EXPECT_EQ(Pa, 0x12345678u);
+  EXPECT_EQ(Walk, 0u);
+}
+
+TEST_F(MmuFixture, SectionTranslationAndPermissions) {
+  buildTables();
+  uint32_t Pa = 0;
+  Fault F;
+  unsigned Walk = 0;
+  // Privileged RW on section 0.
+  ASSERT_TRUE(Mmu_.translate(0x00000123, AccessKind::Write, true, Pa, F,
+                             Walk));
+  EXPECT_EQ(Pa, 0x123u);
+  EXPECT_EQ(Walk, 1u);
+  // User access to a priv-only section faults with a permission code.
+  EXPECT_FALSE(Mmu_.translate(0x00000123, AccessKind::Read, false, Pa, F,
+                              Walk));
+  EXPECT_EQ(F.Fsr, FsrPermissionSection);
+  // User RW section remaps 1 MiB -> 2 MiB.
+  ASSERT_TRUE(Mmu_.translate(0x00100040, AccessKind::Write, false, Pa, F,
+                             Walk));
+  EXPECT_EQ(Pa, 0x00200040u);
+}
+
+TEST_F(MmuFixture, SmallPageReadOnlyForUser) {
+  buildTables();
+  uint32_t Pa = 0;
+  Fault F;
+  unsigned Walk = 0;
+  ASSERT_TRUE(Mmu_.translate(0x00300010, AccessKind::Read, false, Pa, F,
+                             Walk));
+  EXPECT_EQ(Pa, 0x00300010u);
+  EXPECT_EQ(Walk, 2u);
+  EXPECT_FALSE(Mmu_.translate(0x00300010, AccessKind::Write, false, Pa, F,
+                              Walk));
+  EXPECT_EQ(F.Fsr, FsrPermissionPage);
+  // Unmapped VA -> translation fault.
+  EXPECT_FALSE(Mmu_.translate(0x00400000, AccessKind::Read, false, Pa, F,
+                              Walk));
+  EXPECT_EQ(F.Fsr, FsrTranslationSection);
+}
+
+TEST_F(MmuFixture, TlbCachesAndFlushes) {
+  buildTables();
+  Board.Env.MmuIdx = 0;
+  uint32_t Value = 0;
+  Fault F;
+  Board.Ram.write(0x40, 4, 0xABCD1234u);
+  ASSERT_TRUE(Mmu_.readVirt(0x40, 4, Value, F));
+  EXPECT_EQ(Value, 0xABCD1234u);
+  const uint64_t Misses = Mmu_.Misses;
+  ASSERT_TRUE(Mmu_.readVirt(0x44, 4, Value, F));
+  EXPECT_EQ(Mmu_.Misses, Misses) << "same page must hit the TLB";
+  Mmu_.flushTlb();
+  ASSERT_TRUE(Mmu_.readVirt(0x44, 4, Value, F));
+  EXPECT_EQ(Mmu_.Misses, Misses + 1);
+}
+
+TEST_F(MmuFixture, ReadOnlyPageInstallsNoWriteTag) {
+  buildTables();
+  Board.Env.MmuIdx = 1; // user
+  uint32_t Value = 0;
+  Fault F;
+  ASSERT_TRUE(Mmu_.readVirt(0x00300010, 4, Value, F));
+  const TlbEntry &E = Board.Env.Tlb[1][(0x00300010u >> 12) & (TlbSize - 1)];
+  EXPECT_EQ(E.TagRead, 0x00300010u >> 12);
+  EXPECT_EQ(E.TagWrite, TlbInvalidTag);
+  EXPECT_FALSE(Mmu_.writeVirt(0x00300010, 4, 1, F));
+  EXPECT_EQ(F.Fsr, FsrPermissionPage);
+}
+
+TEST_F(MmuFixture, MmioNeverInstallsTlbTags) {
+  uint32_t Value = 0;
+  Fault F;
+  // MMU off: identity to the UART page.
+  ASSERT_TRUE(Mmu_.writeVirt(MmioUart + Uart::RegTx, 4, 'x', F));
+  EXPECT_EQ(Board.uart().output(), "x");
+  const TlbEntry &E =
+      Board.Env.Tlb[0][(MmioUart >> 12) & (TlbSize - 1)];
+  EXPECT_EQ(E.TagWrite, TlbInvalidTag);
+  EXPECT_TRUE(E.PhysFlags & TlbFlagIo);
+}
+
+TEST(Devices, TimerRaisesAndAcks) {
+  sys::Platform Board(1 << 20);
+  Board.intc().mmioWrite(IntController::RegEnable, 1u << IrqLineTimer);
+  Board.timer().mmioWrite(TimerDevice::RegInterval, 1000);
+  Board.timer().mmioWrite(TimerDevice::RegCtrl, 1);
+  EXPECT_EQ(Board.Env.IrqPending, 0u);
+  Board.advance(1500);
+  EXPECT_EQ(Board.Env.IrqPending, 1u);
+  EXPECT_EQ(Board.timer().ticks(), 1u);
+  Board.intc().mmioWrite(IntController::RegAck, IrqLineTimer);
+  EXPECT_EQ(Board.Env.IrqPending, 0u);
+  Board.advance(1000);
+  EXPECT_EQ(Board.timer().ticks(), 2u) << "timer must re-arm";
+}
+
+TEST(Devices, DiskDmaCompletesAfterLatency) {
+  sys::Platform Board(1 << 20, /*DiskSectors=*/16, /*DiskLatency=*/500);
+  auto &Media = Board.disk().media();
+  for (unsigned I = 0; I < DiskDevice::SectorSize; ++I)
+    Media[I] = static_cast<uint8_t>(I);
+  Board.disk().mmioWrite(DiskDevice::RegSector, 0);
+  Board.disk().mmioWrite(DiskDevice::RegDmaAddr, 0x1000);
+  Board.disk().mmioWrite(DiskDevice::RegCount, 1);
+  Board.disk().mmioWrite(DiskDevice::RegCmd, DiskDevice::CmdRead);
+  EXPECT_EQ(Board.disk().mmioRead(DiskDevice::RegStatus), 1u) << "busy";
+  EXPECT_EQ(Board.Ram.read(0x1000, 4), 0u) << "DMA must not be instant";
+  Board.advance(600);
+  EXPECT_EQ(Board.disk().mmioRead(DiskDevice::RegStatus), 0u);
+  EXPECT_EQ(Board.Ram.read(0x1000, 4), 0x03020100u);
+}
+
+TEST(Devices, WallClockFastForward) {
+  sys::Platform Board(1 << 20);
+  Board.timer().mmioWrite(TimerDevice::RegInterval, 5000);
+  Board.timer().mmioWrite(TimerDevice::RegCtrl, 1);
+  EXPECT_EQ(Board.nextDeadline(), 5000u);
+  const uint64_t Skipped = Board.fastForward();
+  EXPECT_EQ(Skipped, 5000u);
+  EXPECT_EQ(Board.timer().ticks(), 1u);
+}
+
+/// Interpreter corner cases, driven by assembled snippets with the MMU
+/// off (flat mapping).
+class InterpFixture : public ::testing::Test {
+protected:
+  InterpFixture() : Board(1 << 20), Mmu_(Board.Env, Board),
+                    In(Board.Env, Mmu_, Board) {}
+
+  void load(AsmBuilder &A) { Board.Ram.loadWords(A.baseAddr(), A.finish()); }
+  StepKind stepAt(uint32_t Pc) {
+    Board.Env.Regs[15] = Pc;
+    return In.step();
+  }
+
+  sys::Platform Board;
+  Mmu Mmu_;
+  Interpreter In;
+};
+
+TEST_F(InterpFixture, ShifterCarryOutLogicalS) {
+  AsmBuilder A(0x100);
+  // movs r0, r1, lsr #1 with r1 = 1 -> r0 = 0, Z = 1, C = 1.
+  A.shift(0, 1, ShiftKind::LSR, 1, Cond::AL, /*S=*/true);
+  load(A);
+  Board.Env.Regs[1] = 1;
+  ASSERT_EQ(stepAt(0x100), StepKind::Ok);
+  EXPECT_EQ(Board.Env.Regs[0], 0u);
+  EXPECT_EQ(Board.Env.ZF, 1u);
+  EXPECT_EQ(Board.Env.CF, 1u);
+}
+
+TEST_F(InterpFixture, AdcChainsCarry) {
+  AsmBuilder A(0x100);
+  A.alu(Opcode::ADD, 0, 1, Operand2::reg(2), Cond::AL, /*S=*/true);
+  A.alu(Opcode::ADC, 3, 4, Operand2::imm(0));
+  load(A);
+  Board.Env.Regs[1] = 0xFFFFFFFF;
+  Board.Env.Regs[2] = 2;
+  Board.Env.Regs[4] = 10;
+  ASSERT_EQ(stepAt(0x100), StepKind::Ok);
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.Regs[0], 1u);
+  EXPECT_EQ(Board.Env.Regs[3], 11u) << "carry must propagate into adc";
+}
+
+TEST_F(InterpFixture, ConditionalSkipsWithoutSideEffects) {
+  AsmBuilder A(0x100);
+  A.cmp(0, Operand2::imm(5));
+  A.alu(Opcode::ADD, 1, 1, Operand2::imm(1), Cond::EQ);
+  A.alu(Opcode::ADD, 1, 1, Operand2::imm(2), Cond::NE);
+  load(A);
+  Board.Env.Regs[0] = 4; // NE
+  Board.Env.Regs[1] = 0;
+  stepAt(0x100);
+  In.step();
+  In.step();
+  EXPECT_EQ(Board.Env.Regs[1], 2u);
+}
+
+TEST_F(InterpFixture, SvcEntersSupervisorVector) {
+  AsmBuilder A(0x100);
+  A.svc(42);
+  load(A);
+  switchMode(Board.Env, ModeUsr);
+  ASSERT_EQ(stepAt(0x100), StepKind::Exception);
+  EXPECT_EQ(Board.Env.Mode, ModeSvc);
+  EXPECT_EQ(Board.Env.Regs[15], 0x8u);
+  EXPECT_EQ(Board.Env.Regs[14], 0x104u);
+}
+
+TEST_F(InterpFixture, UndefinedInstructionFaults) {
+  AsmBuilder A(0x100);
+  A.udf(1);
+  load(A);
+  ASSERT_EQ(stepAt(0x100), StepKind::Exception);
+  EXPECT_EQ(Board.Env.Regs[15], 0x4u);
+}
+
+TEST_F(InterpFixture, LdmStmRoundTrip) {
+  AsmBuilder A(0x100);
+  A.push((1u << 0) | (1u << 1) | (1u << 14));
+  A.movi(0, 0);
+  A.movi(1, 0);
+  A.pop((1u << 0) | (1u << 1) | (1u << 14));
+  load(A);
+  Board.Env.Regs[0] = 0x11;
+  Board.Env.Regs[1] = 0x22;
+  Board.Env.Regs[14] = 0x33;
+  Board.Env.Regs[13] = 0x4000;
+  stepAt(0x100);
+  In.step();
+  In.step();
+  In.step();
+  EXPECT_EQ(Board.Env.Regs[0], 0x11u);
+  EXPECT_EQ(Board.Env.Regs[1], 0x22u);
+  EXPECT_EQ(Board.Env.Regs[14], 0x33u);
+  EXPECT_EQ(Board.Env.Regs[13], 0x4000u);
+}
+
+TEST_F(InterpFixture, WfiHaltsUntilIrq) {
+  AsmBuilder A(0x100);
+  A.wfi();
+  load(A);
+  ASSERT_EQ(stepAt(0x100), StepKind::Halt);
+  EXPECT_EQ(Board.Env.Halted, 1u);
+  Board.Env.IrqPending = 1;
+  EXPECT_FALSE(In.maybeTakeIrq()) << "IRQs are masked after reset";
+  EXPECT_EQ(Board.Env.Halted, 0u) << "pending IRQ must still wake the core";
+}
+
+} // namespace
