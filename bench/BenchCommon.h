@@ -12,6 +12,9 @@
 /// paper-vs-measured comparison.
 ///
 /// RDBT_BENCH_SCALE (env) scales workload iteration counts (default 4).
+/// RDBT_BENCH_JSON (env), when set, makes each binary also write its raw
+/// counters and derived figure series to BENCH_<name>.json (the variable's
+/// value is the output directory; "1" or empty means the current directory).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -56,6 +60,21 @@ inline const char *configName(Config C) {
   return "?";
 }
 
+/// Identifier-safe key for a configuration, used for JSON metric series
+/// names so every binary reports the same quantity under the same key
+/// (configName() stays the human-facing table label).
+inline const char *configKey(Config C) {
+  switch (C) {
+  case Config::Native: return "native";
+  case Config::Qemu: return "qemu";
+  case Config::RuleBase: return "rule_base";
+  case Config::RuleReduction: return "reduction";
+  case Config::RuleElimination: return "elimination";
+  case Config::RuleFull: return "full_opt";
+  }
+  return "unknown";
+}
+
 struct RunStats {
   uint64_t Wall = 0;        ///< emulation cost in host cycles
   uint64_t GuestInstrs = 0; ///< guest instructions retired
@@ -81,8 +100,8 @@ inline uint32_t benchScale() {
   return 4;
 }
 
-inline RunStats runWorkload(const std::string &Name, Config C,
-                            uint32_t Scale) {
+inline RunStats runWorkloadImpl(const std::string &Name, Config C,
+                                uint32_t Scale) {
   sys::Platform Board(guestsw::KernelLayout::MinRam);
   RunStats S;
   if (!guestsw::setupGuest(Board, Name, Scale))
@@ -124,6 +143,100 @@ inline RunStats runWorkload(const std::string &Name, Config C,
   S.SyncOps = EC.SyncOps;
   S.HostInstrs = EC.Wall;
   return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Optional BENCH_*.json emission (see RDBT_BENCH_JSON above). Every
+// runWorkload() call is captured with its raw counters; binaries add their
+// derived figure series with recordMetric(). writeBenchJson() at the end of
+// main() dumps both, so downstream tooling can recompute any figure from the
+// raw runs.
+//===----------------------------------------------------------------------===//
+
+struct JsonRecorder {
+  struct Run {
+    std::string Workload;
+    std::string Config;
+    RunStats S;
+  };
+  struct Metric {
+    std::string Series;
+    std::string Point;
+    double Value;
+  };
+  std::vector<Run> Runs;
+  std::vector<Metric> Metrics;
+
+  static JsonRecorder &get() {
+    static JsonRecorder R;
+    return R;
+  }
+};
+
+inline RunStats runWorkload(const std::string &Name, Config C,
+                            uint32_t Scale) {
+  const RunStats S = runWorkloadImpl(Name, C, Scale);
+  JsonRecorder::get().Runs.push_back({Name, configName(C), S});
+  return S;
+}
+
+/// Records one point of a derived series (e.g. series "speedup_fullopt",
+/// point "perlbench", value 1.36) for BENCH_*.json emission.
+inline void recordMetric(const std::string &Series, const std::string &Point,
+                         double Value) {
+  JsonRecorder::get().Metrics.push_back({Series, Point, Value});
+}
+
+inline std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  for (const char C : In) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Writes BENCH_<BenchName>.json when RDBT_BENCH_JSON is set; no-op
+/// otherwise. Call once at the end of each bench binary's main().
+inline void writeBenchJson(const char *BenchName) {
+  const char *Env = std::getenv("RDBT_BENCH_JSON");
+  if (!Env)
+    return;
+  const std::string Dir =
+      (*Env == '\0' || std::string(Env) == "1") ? "." : Env;
+  const std::string Path = Dir + "/BENCH_" + BenchName + ".json";
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "RDBT_BENCH_JSON: cannot write %s\n", Path.c_str());
+    return;
+  }
+  const JsonRecorder &R = JsonRecorder::get();
+  OS << "{\n  \"bench\": \"" << jsonEscape(BenchName) << "\",\n"
+     << "  \"scale\": " << benchScale() << ",\n  \"runs\": [";
+  for (size_t I = 0; I < R.Runs.size(); ++I) {
+    const JsonRecorder::Run &Run = R.Runs[I];
+    OS << (I ? ",\n" : "\n") << "    {\"workload\": \""
+       << jsonEscape(Run.Workload) << "\", \"config\": \""
+       << jsonEscape(Run.Config) << "\", \"ok\": "
+       << (Run.S.Ok ? "true" : "false") << ", \"wall\": " << Run.S.Wall
+       << ", \"guest_instrs\": " << Run.S.GuestInstrs
+       << ", \"mem_instrs\": " << Run.S.MemInstrs
+       << ", \"sys_instrs\": " << Run.S.SysInstrs
+       << ", \"irq_checks\": " << Run.S.IrqChecks
+       << ", \"sync_instrs\": " << Run.S.SyncInstrs
+       << ", \"sync_ops\": " << Run.S.SyncOps
+       << ", \"host_instrs\": " << Run.S.HostInstrs << "}";
+  }
+  OS << "\n  ],\n  \"metrics\": [";
+  for (size_t I = 0; I < R.Metrics.size(); ++I) {
+    const JsonRecorder::Metric &M = R.Metrics[I];
+    OS << (I ? ",\n" : "\n") << "    {\"series\": \"" << jsonEscape(M.Series)
+       << "\", \"point\": \"" << jsonEscape(M.Point)
+       << "\", \"value\": " << M.Value << "}";
+  }
+  OS << "\n  ]\n}\n";
+  std::printf("\nwrote %s\n", Path.c_str());
 }
 
 inline std::vector<std::string> specNames() {

@@ -41,11 +41,16 @@ int main() {
     std::printf("%-12s %9.2fx %9.2fx %9.2fx  (%.1f%% -> %.1f%% sync ops)\n",
                 Name.c_str(), 1.0, SpB, SpF, CoordBase,
                 CoordBase * (SyncOpsFull / SyncOpsBase));
+    recordMetric("speedup_rule_base", Name, SpB);
+    recordMetric("speedup_full_opt", Name, SpF);
   }
   std::printf("%-12s %9.2fx %9.2fx %9.2fx\n", "GEOMEAN", 1.0,
               geomean(BaseUp), geomean(FullUp));
   std::printf("\npaper: rule-base 0.95x (5%% slowdown), full-opt 1.36x;\n"
               "       48.83%% of instructions need coordination, reduced to "
               "24.61%%\n");
+  recordMetric("speedup_rule_base", "GEOMEAN", geomean(BaseUp));
+  recordMetric("speedup_full_opt", "GEOMEAN", geomean(FullUp));
+  writeBenchJson("fig14_speedup");
   return 0;
 }

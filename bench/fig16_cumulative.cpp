@@ -37,11 +37,19 @@ int main() {
     }
     std::printf("%-12s %9.2fx %11.2fx %12.2fx %11.2fx\n", Name.c_str(),
                 Sp[0], Sp[1], Sp[2], Sp[3]);
+    if (Ok)
+      for (int L = 0; L < 4; ++L)
+        recordMetric(std::string("speedup_") + configKey(Levels[L]), Name,
+                     Sp[L]);
   }
   std::printf("%-12s %9.2fx %11.2fx %12.2fx %11.2fx\n", "GEOMEAN",
               geomean(Up[0]), geomean(Up[1]), geomean(Up[2]),
               geomean(Up[3]));
   std::printf("\npaper: base 0.95x, +reduction 1.22x, +elimination 1.30x, "
               "+scheduling 1.36x\n");
+  for (int L = 0; L < 4; ++L)
+    recordMetric(std::string("speedup_") + configKey(Levels[L]), "GEOMEAN",
+                 geomean(Up[L]));
+  writeBenchJson("fig16_cumulative");
   return 0;
 }

@@ -77,5 +77,8 @@ int main() {
               PackedCost, PackedListing.c_str());
   std::printf("reduction: %.0f%%   (paper: (14-3)/14 = 78%%)\n",
               100.0 * (ParseCost - PackedCost) / ParseCost);
+  bench::recordMetric("ccr_save_cost", "parse_and_save", ParseCost);
+  bench::recordMetric("ccr_save_cost", "packed", PackedCost);
+  bench::writeBenchJson("fig8_ccr_cost");
   return 0;
 }

@@ -35,10 +35,17 @@ int main() {
     Irq.push_back(IrqP);
     std::printf("%-12s %15.2f%% %13.2f%% %15.2f%%\n", Name.c_str(), SysP,
                 MemP, IrqP);
+    recordMetric("system_level_pct", Name, SysP);
+    recordMetric("memory_pct", Name, MemP);
+    recordMetric("irq_check_pct", Name, IrqP);
   }
   std::printf("%-12s %15.2f%% %13.2f%% %15.2f%%\n", "GEOMEAN", geomean(Sys),
               geomean(Mem), geomean(Irq));
   std::printf("\npaper (Table I geomean): system 0.25%%, memory 33.46%%, "
               "interrupt check 15.12%%\n");
+  recordMetric("system_level_pct", "GEOMEAN", geomean(Sys));
+  recordMetric("memory_pct", "GEOMEAN", geomean(Mem));
+  recordMetric("irq_check_pct", "GEOMEAN", geomean(Irq));
+  writeBenchJson("table1_distribution");
   return 0;
 }

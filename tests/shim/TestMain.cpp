@@ -1,0 +1,59 @@
+//===- tests/shim/TestMain.cpp - Test runner for the offline gtest shim ----===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// main() for test binaries built against tests/shim/gtest/gtest.h: expands
+/// deferred TEST_P instantiations, runs every registered test, prints a
+/// gtest-style report, and exits non-zero when any test fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <exception>
+
+int main(int argc, char **argv) {
+  (void)argc;
+  (void)argv;
+
+  for (const auto &Expand : testing::internal::expanders())
+    Expand();
+
+  auto &Tests = testing::internal::registry();
+  std::cout << "[==========] Running " << Tests.size() << " tests.\n";
+
+  std::vector<std::string> Failures;
+  for (const auto &T : Tests) {
+    std::cout << "[ RUN      ] " << T.Name << "\n";
+    testing::internal::currentTestFailed() = false;
+    try {
+      T.Run();
+    } catch (const std::exception &E) {
+      testing::internal::currentTestFailed() = true;
+      std::cout << "Uncaught exception: " << E.what() << "\n";
+    } catch (...) {
+      testing::internal::currentTestFailed() = true;
+      std::cout << "Uncaught non-standard exception\n";
+    }
+    if (testing::internal::currentTestFailed()) {
+      Failures.push_back(T.Name);
+      std::cout << "[  FAILED  ] " << T.Name << "\n";
+    } else {
+      std::cout << "[       OK ] " << T.Name << "\n";
+    }
+  }
+
+  std::cout << "[==========] " << Tests.size() << " tests ran.\n";
+  std::cout << "[  PASSED  ] " << (Tests.size() - Failures.size())
+            << " tests.\n";
+  if (!Failures.empty()) {
+    std::cout << "[  FAILED  ] " << Failures.size() << " tests, listed below:\n";
+    for (const auto &Name : Failures)
+      std::cout << "[  FAILED  ] " << Name << "\n";
+    return 1;
+  }
+  return 0;
+}

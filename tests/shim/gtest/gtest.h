@@ -1,0 +1,379 @@
+//===- tests/shim/gtest/gtest.h - Minimal offline GoogleTest shim -*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained implementation of the GoogleTest subset the RuleDBT test
+/// suites use, so `ctest` is green with no network access and no system
+/// GoogleTest. Selected by CMake when no real GoogleTest is available (or
+/// when configured with -DRDBT_FORCE_TEST_SHIM=ON).
+///
+/// Supported: TEST, TEST_F, TEST_P, INSTANTIATE_TEST_SUITE_P (with optional
+/// name generator), ::testing::Test fixtures (SetUp/TearDown),
+/// ::testing::TestWithParam / TestParamInfo, Range/Values/ValuesIn,
+/// EXPECT_*/ASSERT_* comparisons with message streaming, and FAIL().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_TESTS_SHIM_GTEST_H
+#define RDBT_TESTS_SHIM_GTEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+};
+
+/// Accumulates the user's `<< ...` message trailing an assertion macro.
+class Message {
+public:
+  template <typename T> Message &operator<<(const T &Val) {
+    Stream << Val;
+    return *this;
+  }
+  std::string str() const { return Stream.str(); }
+
+private:
+  std::ostringstream Stream;
+};
+
+namespace internal {
+
+struct RegisteredTest {
+  std::string Name;
+  std::function<void()> Run;
+};
+
+inline std::vector<RegisteredTest> &registry() {
+  static std::vector<RegisteredTest> Tests;
+  return Tests;
+}
+
+/// Deferred TEST_P expansions: INSTANTIATE_TEST_SUITE_P may appear before the
+/// TEST_P bodies in a file, so enumeration runs at main() time instead of
+/// static-init time.
+inline std::vector<std::function<void()>> &expanders() {
+  static std::vector<std::function<void()>> Fns;
+  return Fns;
+}
+
+inline bool &currentTestFailed() {
+  static bool Failed = false;
+  return Failed;
+}
+
+/// Set by a fatal (ASSERT_*/FAIL) failure; checked between SetUp and
+/// TestBody so a fatal SetUp failure skips the body, like GoogleTest.
+inline bool &currentTestFatal() {
+  static bool Fatal = false;
+  return Fatal;
+}
+
+template <typename T, typename = void> struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream &>()
+                                            << std::declval<const T &>())>>
+    : std::true_type {};
+
+template <typename T> void printValue(std::ostream &OS, const T &Val) {
+  if constexpr (std::is_same_v<T, bool>) {
+    OS << (Val ? "true" : "false");
+  } else if constexpr (std::is_enum_v<T>) {
+    OS << static_cast<long long>(
+        static_cast<std::underlying_type_t<T>>(Val));
+  } else if constexpr (std::is_integral_v<T>) {
+    OS << +Val; // promote char-sized integers to printable ints
+  } else if constexpr (IsStreamable<T>::value) {
+    OS << Val;
+  } else {
+    OS << "<" << sizeof(T) << "-byte object>";
+  }
+}
+
+struct CheckResult {
+  bool Ok = true;
+  std::string Msg;
+  explicit operator bool() const { return Ok; }
+};
+
+template <typename Op, typename A, typename B>
+CheckResult checkCmp(const char *OpName, Op Cmp, const A &LHS, const B &RHS,
+                     const char *LhsExpr, const char *RhsExpr) {
+  if (Cmp(LHS, RHS))
+    return {};
+  std::ostringstream OS;
+  OS << "Expected: (" << LhsExpr << ") " << OpName << " (" << RhsExpr
+     << "), actual: ";
+  printValue(OS, LHS);
+  OS << " vs ";
+  printValue(OS, RHS);
+  return {false, OS.str()};
+}
+
+inline CheckResult checkBool(bool Cond, bool Expected, const char *Expr) {
+  if (Cond == Expected)
+    return {};
+  std::ostringstream OS;
+  OS << "Value of: " << Expr << "\n  Actual: " << (Cond ? "true" : "false")
+     << "\nExpected: " << (Expected ? "true" : "false");
+  return {false, OS.str()};
+}
+
+/// The `AssertHelper(...) = Message() << ...` idiom borrowed from GoogleTest:
+/// operator= has lower precedence than <<, so the user's streamed message
+/// binds to the Message temporary and reporting happens in operator=, which
+/// returns void so ASSERT_* macros can `return` it from a void function.
+class AssertHelper {
+public:
+  AssertHelper(bool Fatal, const char *File, int Line, std::string Summary)
+      : Fatal(Fatal), File(File), Line(Line), Summary(std::move(Summary)) {}
+
+  void operator=(const Message &Msg) const {
+    currentTestFailed() = true;
+    if (Fatal)
+      currentTestFatal() = true;
+    std::cout << File << ":" << Line << ": Failure\n" << Summary;
+    const std::string User = Msg.str();
+    if (!User.empty())
+      std::cout << "\n" << User;
+    std::cout << "\n";
+  }
+
+private:
+  bool Fatal;
+  const char *File;
+  int Line;
+  std::string Summary;
+};
+
+/// GoogleTest lifecycle: a fatal failure in SetUp skips TestBody, and
+/// TearDown runs even when SetUp/TestBody throw (the exception is recorded
+/// by the runner in TestMain.cpp after TearDown).
+inline void runTestObject(Test &T) {
+  currentTestFatal() = false;
+  try {
+    T.SetUp();
+    if (!currentTestFatal())
+      T.TestBody();
+  } catch (...) {
+    T.TearDown();
+    throw;
+  }
+  T.TearDown();
+}
+
+inline int registerTest(const char *Suite, const char *Name,
+                        Test *(*Factory)()) {
+  registry().push_back({std::string(Suite) + "." + Name, [Factory]() {
+                          std::unique_ptr<Test> T(Factory());
+                          runTestObject(*T);
+                        }});
+  return 0;
+}
+
+} // namespace internal
+
+template <typename T> class TestWithParam : public Test {
+public:
+  using ParamType = T;
+  const T &GetParam() const { return *CurrentParam; }
+
+  /// Points at the instantiation's copy of the parameter for the duration of
+  /// one test run; set by the expander in instantiateParamSuite.
+  inline static const T *CurrentParam = nullptr;
+};
+
+template <typename T> struct TestParamInfo {
+  T param;
+  std::size_t index;
+};
+
+inline std::vector<int> Range(int Begin, int End, int Step = 1) {
+  std::vector<int> Out;
+  for (int I = Begin; I < End; I += Step)
+    Out.push_back(I);
+  return Out;
+}
+
+template <typename... Ts>
+std::vector<std::common_type_t<Ts...>> Values(Ts... Vals) {
+  return {static_cast<std::common_type_t<Ts...>>(Vals)...};
+}
+
+template <typename C>
+std::vector<typename C::value_type> ValuesIn(const C &Container) {
+  return std::vector<typename C::value_type>(Container.begin(),
+                                             Container.end());
+}
+
+namespace internal {
+
+template <typename Suite> struct ParamTestRegistry {
+  struct Pattern {
+    const char *Name;
+    Test *(*Factory)();
+  };
+  static std::vector<Pattern> &patterns() {
+    static std::vector<Pattern> Patterns;
+    return Patterns;
+  }
+};
+
+template <typename Suite>
+int registerParamTest(const char *Name, Test *(*Factory)()) {
+  ParamTestRegistry<Suite>::patterns().push_back({Name, Factory});
+  return 0;
+}
+
+template <typename Suite, typename Gen, typename NameFn>
+int instantiateParamSuite(const char *Prefix, const char *SuiteName, Gen Raw,
+                          NameFn Namer) {
+  using Param = typename Suite::ParamType;
+  std::vector<Param> Params(Raw.begin(), Raw.end());
+  expanders().push_back([Prefix, SuiteName, Params, Namer]() {
+    for (std::size_t I = 0; I < Params.size(); ++I) {
+      TestParamInfo<Param> Info{Params[I], I};
+      const std::string Tag = Namer(Info);
+      for (const auto &Pat : ParamTestRegistry<Suite>::patterns()) {
+        const std::string Display = std::string(Prefix) + "/" + SuiteName +
+                                    "." + Pat.Name + "/" + Tag;
+        const Param Val = Params[I];
+        auto Factory = Pat.Factory;
+        registry().push_back({Display, [Val, Factory]() {
+                                Suite::CurrentParam = &Val;
+                                std::unique_ptr<Test> T(Factory());
+                                runTestObject(*T);
+                                Suite::CurrentParam = nullptr;
+                              }});
+      }
+    }
+  });
+  return 0;
+}
+
+template <typename Suite, typename Gen>
+int instantiateParamSuite(const char *Prefix, const char *SuiteName, Gen Raw) {
+  using Param = typename Suite::ParamType;
+  return instantiateParamSuite<Suite>(
+      Prefix, SuiteName, std::move(Raw),
+      [](const TestParamInfo<Param> &Info) { return std::to_string(Info.index); });
+}
+
+} // namespace internal
+} // namespace testing
+
+//===----------------------------------------------------------------------===//
+// Test definition macros.
+//===----------------------------------------------------------------------===//
+
+#define RDBT_GTEST_CLASS_(Suite, Name) Suite##_##Name##_Test
+
+#define RDBT_GTEST_TEST_(Suite, Name, Parent)                                  \
+  class RDBT_GTEST_CLASS_(Suite, Name) : public Parent {                       \
+  public:                                                                      \
+    void TestBody() override;                                                  \
+    static ::testing::Test *rdbtCreate() {                                     \
+      return new RDBT_GTEST_CLASS_(Suite, Name);                               \
+    }                                                                          \
+  };                                                                           \
+  static const int rdbt_gtest_reg_##Suite##_##Name =                           \
+      ::testing::internal::registerTest(                                       \
+          #Suite, #Name, &RDBT_GTEST_CLASS_(Suite, Name)::rdbtCreate);         \
+  void RDBT_GTEST_CLASS_(Suite, Name)::TestBody()
+
+#define TEST(Suite, Name) RDBT_GTEST_TEST_(Suite, Name, ::testing::Test)
+#define TEST_F(Fixture, Name) RDBT_GTEST_TEST_(Fixture, Name, Fixture)
+
+#define TEST_P(Suite, Name)                                                    \
+  class RDBT_GTEST_CLASS_(Suite, Name) : public Suite {                        \
+  public:                                                                      \
+    void TestBody() override;                                                  \
+    static ::testing::Test *rdbtCreate() {                                     \
+      return new RDBT_GTEST_CLASS_(Suite, Name);                               \
+    }                                                                          \
+  };                                                                           \
+  static const int rdbt_gtest_preg_##Suite##_##Name =                          \
+      ::testing::internal::registerParamTest<Suite>(                           \
+          #Name, &RDBT_GTEST_CLASS_(Suite, Name)::rdbtCreate);                 \
+  void RDBT_GTEST_CLASS_(Suite, Name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(Prefix, Suite, ...)                           \
+  static const int rdbt_gtest_inst_##Prefix##_##Suite =                        \
+      ::testing::internal::instantiateParamSuite<Suite>(#Prefix, #Suite,       \
+                                                        __VA_ARGS__)
+
+//===----------------------------------------------------------------------===//
+// Assertion macros. EXPECT_* records and continues; ASSERT_* records and
+// returns from the enclosing (void) function.
+//===----------------------------------------------------------------------===//
+
+#define RDBT_GTEST_REPORT_(Fatal, Res)                                         \
+  ::testing::internal::AssertHelper(Fatal, __FILE__, __LINE__, Res.Msg) =      \
+      ::testing::Message()
+
+#define RDBT_GTEST_EXPECT_(Check)                                              \
+  if (auto RdbtGtestRes = Check) {                                             \
+  } else                                                                       \
+    RDBT_GTEST_REPORT_(false, RdbtGtestRes)
+
+#define RDBT_GTEST_ASSERT_(Check)                                              \
+  if (auto RdbtGtestRes = Check) {                                             \
+  } else                                                                       \
+    return RDBT_GTEST_REPORT_(true, RdbtGtestRes)
+
+#define RDBT_GTEST_CMP_(OpName, Op, A, B)                                      \
+  ::testing::internal::checkCmp(                                               \
+      OpName, [](const auto &L, const auto &R) { return L Op R; }, (A), (B),   \
+      #A, #B)
+
+#define EXPECT_EQ(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_("==", ==, A, B))
+#define EXPECT_NE(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_("!=", !=, A, B))
+#define EXPECT_LT(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_("<", <, A, B))
+#define EXPECT_LE(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_("<=", <=, A, B))
+#define EXPECT_GT(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_(">", >, A, B))
+#define EXPECT_GE(A, B) RDBT_GTEST_EXPECT_(RDBT_GTEST_CMP_(">=", >=, A, B))
+#define EXPECT_TRUE(C)                                                         \
+  RDBT_GTEST_EXPECT_(::testing::internal::checkBool(!!(C), true, #C))
+#define EXPECT_FALSE(C)                                                        \
+  RDBT_GTEST_EXPECT_(::testing::internal::checkBool(!!(C), false, #C))
+
+#define ASSERT_EQ(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_("==", ==, A, B))
+#define ASSERT_NE(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_("!=", !=, A, B))
+#define ASSERT_LT(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_("<", <, A, B))
+#define ASSERT_LE(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_("<=", <=, A, B))
+#define ASSERT_GT(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_(">", >, A, B))
+#define ASSERT_GE(A, B) RDBT_GTEST_ASSERT_(RDBT_GTEST_CMP_(">=", >=, A, B))
+#define ASSERT_TRUE(C)                                                         \
+  RDBT_GTEST_ASSERT_(::testing::internal::checkBool(!!(C), true, #C))
+#define ASSERT_FALSE(C)                                                        \
+  RDBT_GTEST_ASSERT_(::testing::internal::checkBool(!!(C), false, #C))
+
+#define FAIL()                                                                 \
+  return ::testing::internal::AssertHelper(true, __FILE__, __LINE__,           \
+                                           "Failed") = ::testing::Message()
+#define ADD_FAILURE()                                                          \
+  ::testing::internal::AssertHelper(false, __FILE__, __LINE__, "Failed") =     \
+      ::testing::Message()
+#define SUCCEED()                                                              \
+  if (true) {                                                                  \
+  } else                                                                       \
+    ::testing::Message()
+
+#endif // RDBT_TESTS_SHIM_GTEST_H
