@@ -6,10 +6,10 @@
 ///
 /// \file
 /// The harness behind every table/figure reproduction binary: runs a
-/// workload under a chosen executor configuration and returns the
-/// measured counters. Absolute numbers come from the simulated host
-/// (host instructions = wall cycles); see EXPERIMENTS.md for the
-/// paper-vs-measured comparison.
+/// workload under a chosen executor configuration (via the vm/ session
+/// facade) and returns the measured counters. Absolute numbers come from
+/// the simulated host (host instructions = wall cycles); see
+/// EXPERIMENTS.md for the paper-vs-measured comparison.
 ///
 /// RDBT_BENCH_SCALE (env) scales workload iteration counts (default 4).
 /// RDBT_BENCH_JSON (env), when set, makes each binary also write its raw
@@ -21,12 +21,8 @@
 #ifndef RDBT_BENCH_BENCHCOMMON_H
 #define RDBT_BENCH_BENCHCOMMON_H
 
-#include "core/RuleTranslator.h"
-#include "dbt/Engine.h"
-#include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
-#include "ir/QemuTranslator.h"
-#include "sys/Interpreter.h"
+#include "vm/Vm.h"
 
 #include <cmath>
 #include <cstdio>
@@ -38,7 +34,8 @@
 namespace rdbt {
 namespace bench {
 
-/// Executor configurations.
+/// Executor configurations (the translator-kind axis of the scenario
+/// matrix; each maps to a TranslatorRegistry kind).
 enum class Config {
   Native, ///< reference interpreter at 1 cycle/instr (Fig. 18 baseline)
   Qemu,   ///< the QEMU-6.1-like baseline translator
@@ -48,31 +45,33 @@ enum class Config {
   RuleFull,
 };
 
-inline const char *configName(Config C) {
+/// The registry kind name behind a configuration.
+inline const char *configKind(Config C) {
   switch (C) {
   case Config::Native: return "native";
-  case Config::Qemu: return "qemu-6.1";
-  case Config::RuleBase: return "rule-base";
-  case Config::RuleReduction: return "+reduction";
-  case Config::RuleElimination: return "+elimination";
-  case Config::RuleFull: return "+scheduling";
+  case Config::Qemu: return "qemu";
+  case Config::RuleBase: return "rule:base";
+  case Config::RuleReduction: return "rule:reduction";
+  case Config::RuleElimination: return "rule:elimination";
+  case Config::RuleFull: return "rule:scheduling";
   }
   return "?";
+}
+
+/// Human-facing table label (the registry's Label for the kind).
+inline const char *configName(Config C) {
+  const vm::TranslatorRegistry::KindInfo *K =
+      vm::TranslatorRegistry::global().find(configKind(C));
+  return K ? K->Label.c_str() : "?";
 }
 
 /// Identifier-safe key for a configuration, used for JSON metric series
 /// names so every binary reports the same quantity under the same key
 /// (configName() stays the human-facing table label).
 inline const char *configKey(Config C) {
-  switch (C) {
-  case Config::Native: return "native";
-  case Config::Qemu: return "qemu";
-  case Config::RuleBase: return "rule_base";
-  case Config::RuleReduction: return "reduction";
-  case Config::RuleElimination: return "elimination";
-  case Config::RuleFull: return "full_opt";
-  }
-  return "unknown";
+  const vm::TranslatorRegistry::KindInfo *K =
+      vm::TranslatorRegistry::global().find(configKind(C));
+  return K ? K->MetricKey.c_str() : "unknown";
 }
 
 struct RunStats {
@@ -100,49 +99,40 @@ inline uint32_t benchScale() {
   return 4;
 }
 
+/// The wall budgets every figure always ran under: the native baseline
+/// is an instruction budget (1 cycle/instr), the engine paths a
+/// host-cycle budget.
+inline uint64_t benchWallBudget(Config C) {
+  return C == Config::Native ? 2000ull * 1000 * 1000
+                             : 400ull * 1000 * 1000 * 1000;
+}
+
+inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
+  RunStats S;
+  S.Ok = R.Ok;
+  S.Wall = R.wall();
+  S.GuestInstrs = R.guestInstrs();
+  S.MemInstrs = R.memInstrs();
+  S.SysInstrs = R.sysInstrs();
+  S.IrqChecks = R.irqChecks();
+  S.SyncInstrs = R.syncInstrs();
+  S.SyncOps = R.syncOps();
+  // The native baseline reports no host-side cost (1 guest instruction =
+  // 1 native cycle, already in Wall).
+  S.HostInstrs = EngineRun ? R.wall() : 0;
+  return S;
+}
+
 inline RunStats runWorkloadImpl(const std::string &Name, Config C,
                                 uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  RunStats S;
-  if (!guestsw::setupGuest(Board, Name, Scale))
-    return S;
-
-  if (C == Config::Native) {
-    const sys::SystemRunResult R =
-        sys::runSystemInterpreter(Board, 2000ull * 1000 * 1000);
-    S.Ok = R.Shutdown;
-    S.GuestInstrs = R.InstrsRetired;
-    S.Wall = R.InstrsRetired; // one cycle per instruction
-    return S;
-  }
-
-  ir::QemuTranslator Qemu;
-  rules::RuleSet RS = rules::buildReferenceRuleSet();
-  core::OptLevel Level = core::OptLevel::Scheduling;
-  switch (C) {
-  case Config::RuleBase: Level = core::OptLevel::Base; break;
-  case Config::RuleReduction: Level = core::OptLevel::Reduction; break;
-  case Config::RuleElimination: Level = core::OptLevel::Elimination; break;
-  default: break;
-  }
-  core::RuleTranslator Rule(RS, core::OptConfig::forLevel(Level));
-  dbt::Translator &Xlat =
-      (C == Config::Qemu) ? static_cast<dbt::Translator &>(Qemu)
-                          : static_cast<dbt::Translator &>(Rule);
-
-  dbt::DbtEngine Engine(Board, Xlat);
-  const dbt::StopReason Stop = Engine.run(400ull * 1000 * 1000 * 1000);
-  const host::ExecCounters &EC = Engine.counters();
-  S.Ok = Stop == dbt::StopReason::GuestShutdown;
-  S.Wall = EC.Wall;
-  S.GuestInstrs = EC.GuestInstrs;
-  S.MemInstrs = EC.GuestMemInstrs;
-  S.SysInstrs = EC.GuestSysInstrs;
-  S.IrqChecks = EC.IrqChecks;
-  S.SyncInstrs = EC.ByClass[static_cast<unsigned>(host::CostClass::Sync)];
-  S.SyncOps = EC.SyncOps;
-  S.HostInstrs = EC.Wall;
-  return S;
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .translator(configKind(C))
+               .wallBudget(benchWallBudget(C)));
+  if (!V.valid())
+    return RunStats();
+  return fromReport(V.run(), C != Config::Native);
 }
 
 //===----------------------------------------------------------------------===//

@@ -16,16 +16,12 @@ namespace {
 
 double speedupWith(const std::string &Name, const core::OptConfig &Cfg,
                    uint64_t QemuWall, uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  if (!guestsw::setupGuest(Board, Name, Scale))
+  vm::Vm V(vm::VmConfig().workload(Name).scale(Scale).translator("rule").opts(
+      Cfg));
+  const vm::RunReport R = V.run();
+  if (!R.Ok)
     return 0;
-  const rules::RuleSet RS = rules::buildReferenceRuleSet();
-  core::RuleTranslator Xlat(RS, Cfg);
-  dbt::DbtEngine Engine(Board, Xlat);
-  if (Engine.run(400ull * 1000 * 1000 * 1000) !=
-      dbt::StopReason::GuestShutdown)
-    return 0;
-  return static_cast<double>(QemuWall) / Engine.counters().Wall;
+  return static_cast<double>(QemuWall) / R.wall();
 }
 
 struct Variant {
@@ -88,12 +84,8 @@ int main() {
   // workload instead of once per (variant, workload).
   std::vector<uint64_t> QemuWall(Mix.size(), 0);
   for (size_t I = 0; I < Mix.size(); ++I) {
-    sys::Platform Board(guestsw::KernelLayout::MinRam);
-    guestsw::setupGuest(Board, Mix[I], Scale);
-    ir::QemuTranslator Qemu;
-    dbt::DbtEngine Engine(Board, Qemu);
-    Engine.run(400ull * 1000 * 1000 * 1000);
-    QemuWall[I] = Engine.counters().Wall;
+    vm::Vm V(vm::VmConfig().workload(Mix[I]).scale(Scale).translator("qemu"));
+    QemuWall[I] = V.run().wall();
   }
 
   std::printf("%-32s %10s\n", "configuration", "speedup");

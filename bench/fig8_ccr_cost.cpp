@@ -9,6 +9,7 @@
 #include "bench/BenchCommon.h"
 
 #include "arm/AsmBuilder.h"
+#include "guestsw/MiniKernel.h"
 #include "host/HostDisasm.h"
 
 using namespace rdbt;
@@ -33,10 +34,13 @@ host::HostBlock translateSample(core::OptLevel Level) {
   sys::Fault F;
   fetchGuestBlock(Mmu, 0x1000, 0, GB, F);
 
-  rules::RuleSet RS = rules::buildReferenceRuleSet();
-  core::RuleTranslator Xlat(RS, core::OptConfig::forLevel(Level));
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  vm::TranslatorRegistry::Context Ctx;
+  Ctx.Rules = &RS;
+  const auto Xlat = vm::TranslatorRegistry::global().create(
+      vm::VmConfig().optLevel(Level).translator(), Ctx);
   host::HostBlock Out;
-  Xlat.translate(GB, Out);
+  Xlat->translate(GB, Out);
   return Out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "arm/Decoder.h"
 #include "arm/Encoder.h"
+#include "guestsw/MiniKernel.h"
 
 #include <benchmark/benchmark.h>
 
@@ -40,10 +41,11 @@ dbt::GuestBlock sampleBlock(sys::Platform &Board) {
 void BM_QemuTranslate(benchmark::State &State) {
   sys::Platform Board(guestsw::KernelLayout::MinRam);
   const dbt::GuestBlock GB = sampleBlock(Board);
-  ir::QemuTranslator Xlat;
+  const auto Xlat = vm::TranslatorRegistry::global().create(
+      "qemu", vm::TranslatorRegistry::Context());
   for (auto _ : State) {
     host::HostBlock Out;
-    Xlat.translate(GB, Out);
+    Xlat->translate(GB, Out);
     benchmark::DoNotOptimize(Out.Code.size());
   }
   State.SetItemsProcessed(State.iterations() * GB.Insts.size());
@@ -54,12 +56,12 @@ void BM_RuleTranslate(benchmark::State &State) {
   sys::Platform Board(guestsw::KernelLayout::MinRam);
   const dbt::GuestBlock GB = sampleBlock(Board);
   const rules::RuleSet RS = rules::buildReferenceRuleSet();
-  core::RuleTranslator Xlat(RS,
-                            core::OptConfig::forLevel(
-                                core::OptLevel::Scheduling));
+  vm::TranslatorRegistry::Context Ctx;
+  Ctx.Rules = &RS;
+  const auto Xlat = vm::TranslatorRegistry::global().create("rule", Ctx);
   for (auto _ : State) {
     host::HostBlock Out;
-    Xlat.translate(GB, Out);
+    Xlat->translate(GB, Out);
     benchmark::DoNotOptimize(Out.Code.size());
   }
   State.SetItemsProcessed(State.iterations() * GB.Insts.size());
@@ -117,15 +119,9 @@ void BM_HostMachineExecution(benchmark::State &State) {
   // End-to-end simulated execution speed: guest instructions per second
   // of the full-opt rule engine on a small workload.
   for (auto _ : State) {
-    sys::Platform Board(guestsw::KernelLayout::MinRam);
-    guestsw::setupGuest(Board, "libquantum", 1);
-    const rules::RuleSet RS = rules::buildReferenceRuleSet();
-    core::RuleTranslator Xlat(
-        RS, core::OptConfig::forLevel(core::OptLevel::Scheduling));
-    dbt::DbtEngine Engine(Board, Xlat);
-    Engine.run(~0ull);
-    State.SetItemsProcessed(State.items_processed() +
-                            Engine.counters().GuestInstrs);
+    vm::Vm V(vm::VmConfig::fromSpec("rule/libquantum"));
+    const vm::RunReport R = V.run();
+    State.SetItemsProcessed(State.items_processed() + R.guestInstrs());
   }
 }
 BENCHMARK(BM_HostMachineExecution)->Unit(benchmark::kMillisecond);

@@ -1,24 +1,57 @@
 //===- examples/compare_translators.cpp - Side-by-side code dumps ------------===//
 //
-// Part of RuleDBT. Translates one guest basic block with the QEMU-like
-// baseline and with the rule-based translator at Base and Full-Opt
-// levels, and dumps the host code with per-instruction cost classes —
-// the clearest way to *see* sync-save/sync-restore and what each
-// optimization removes.
+// Part of RuleDBT. Translates one guest basic block with each requested
+// translator kind and dumps the host code with per-instruction cost
+// classes — the clearest way to *see* sync-save/sync-restore and what
+// each optimization removes.
+//
+// Usage:
+//   compare_translators                 qemu, rule:base, rule:scheduling
+//   compare_translators <kind>...       any registered kinds
+//   compare_translators --list          registered kinds
 //
 //===----------------------------------------------------------------------===//
 
 #include "arm/AsmBuilder.h"
 #include "arm/Disasm.h"
-#include "core/RuleTranslator.h"
 #include "host/HostDisasm.h"
-#include "ir/QemuTranslator.h"
+#include "vm/Vm.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace rdbt;
 
-int main() {
+namespace {
+
+void listKinds() {
+  std::printf("translator kinds:\n");
+  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const vm::TranslatorRegistry::KindInfo *K =
+        vm::TranslatorRegistry::global().find(Kind);
+    std::printf("  %-18s %s%s\n", Kind.c_str(), K->Label.c_str(),
+                K->UsesEngine ? "" : "  (interpreter-executed: no host code)");
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Kinds;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--list") || !std::strcmp(argv[I], "--help") ||
+        !std::strcmp(argv[I], "-h")) {
+      std::printf("usage: %s [kind...]\n\n", argv[0]);
+      listKinds();
+      return 0;
+    }
+    Kinds.push_back(argv[I]);
+  }
+  if (Kinds.empty())
+    Kinds = {"qemu", "rule:base", "rule:scheduling"};
+
   // The paper's running example shape: a flag def, a memory access in
   // between, and a conditional use (Fig. 12's scheduling pattern).
   arm::AsmBuilder A(0x1000);
@@ -42,9 +75,30 @@ int main() {
     std::printf("  0x%08x  %s\n", GB.pcOf(I),
                 arm::disassemble(GB.Insts[I], GB.pcOf(I)).c_str());
 
-  const auto Dump = [&](const char *Title, dbt::Translator &X) {
+  const rules::RuleSet Rules = rules::buildReferenceRuleSet();
+  vm::TranslatorRegistry::Context Ctx;
+  Ctx.Rules = &Rules;
+
+  for (const std::string &Kind : Kinds) {
+    const vm::TranslatorRegistry::KindInfo *K =
+        vm::TranslatorRegistry::global().find(Kind);
+    if (!K) {
+      std::fprintf(stderr, "unknown translator kind '%s'\n\n", Kind.c_str());
+      listKinds();
+      return 1;
+    }
+    if (!K->UsesEngine) {
+      std::printf("\n=== %s: interpreter-executed, no host code to dump ===\n",
+                  Kind.c_str());
+      continue;
+    }
+    const auto Xlat = vm::TranslatorRegistry::global().create(Kind, Ctx);
+    if (!Xlat) {
+      std::fprintf(stderr, "translator factory for '%s' failed\n", Kind.c_str());
+      return 1;
+    }
     host::HostBlock Out;
-    X.translate(GB, Out);
+    Xlat->translate(GB, Out);
     unsigned Sync = 0, Total = 0;
     for (const host::HInst &H : Out.Code) {
       if (H.Op == host::HOp::Marker)
@@ -52,21 +106,9 @@ int main() {
       ++Total;
       Sync += H.Cls == host::CostClass::Sync;
     }
-    std::printf("\n=== %s: %u host instrs, %u sync ===\n%s", Title, Total,
-                Sync, host::disassembleBlock(Out).c_str());
-  };
-
-  ir::QemuTranslator Qemu;
-  Dump("qemu-like baseline (guest state in env)", Qemu);
-
-  const rules::RuleSet Rules = rules::buildReferenceRuleSet();
-  core::RuleTranslator Base(Rules,
-                            core::OptConfig::forLevel(core::OptLevel::Base));
-  Dump("rule-based, Base (naive sync brackets)", Base);
-
-  core::RuleTranslator Full(
-      Rules, core::OptConfig::forLevel(core::OptLevel::Scheduling));
-  Dump("rule-based, Full Opt (packed CCR + elimination + scheduling)",
-       Full);
+    std::printf("\n=== %s (%s): %u host instrs, %u sync ===\n%s",
+                Kind.c_str(), Xlat->name(), Total, Sync,
+                host::disassembleBlock(Out).c_str());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rules/Learner.h"
+#include "vm/Vm.h"
 
 #include <cstdio>
 
@@ -52,5 +53,16 @@ int main() {
   std::printf("\nfirst few learned rules:\n");
   for (size_t I = 0; I < RS.size() && I < 6; ++I)
     std::printf("%s", ruleToString(RS.rule(I)).c_str());
-  return 0;
+
+  // The payoff: boot the guest OS on *only* the rules just learned (the
+  // Vm's .rules() hook swaps out the reference set).
+  std::printf("\n=== booting cpu-prime on the learned rules only ===\n");
+  vm::Vm V(vm::VmConfig::fromSpec("rule:scheduling/cpu-prime").rules(&RS));
+  const vm::RunReport R = V.run();
+  std::printf("stop reason:         %s\n", R.stopName());
+  std::printf("guest console:       %s", R.Console.c_str());
+  std::printf("rule-covered instrs: %llu (fallback %llu)\n",
+              static_cast<unsigned long long>(R.RuleCoveredInstrs),
+              static_cast<unsigned long long>(R.FallbackInstrs));
+  return R.Ok ? 0 : 1;
 }

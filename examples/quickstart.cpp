@@ -4,72 +4,95 @@
 // rule-based translator (full optimizations) and prints the console
 // output plus the headline statistics. Start here.
 //
+// Usage:
+//   quickstart                       cpu-prime under full-opt rules
+//   quickstart <workload>            a different workload
+//   quickstart <kind>/<workload>[@<scale>]   any scenario by spec string
+//   quickstart --list                all translator kinds and workloads
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/RuleTranslator.h"
-#include "dbt/Engine.h"
-#include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
+#include "vm/Vm.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace rdbt;
 
+namespace {
+
+void listScenarios() {
+  std::printf("translator kinds (spec prefix):\n");
+  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const vm::TranslatorRegistry::KindInfo *K =
+        vm::TranslatorRegistry::global().find(Kind);
+    std::printf("  %-18s %s\n", Kind.c_str(), K->Label.c_str());
+  }
+  std::printf("\nworkloads:\n");
+  for (const auto &W : guestsw::workloads())
+    std::printf("  %-12s %s\n", W.Name, W.Sketch);
+  std::printf("\nspec strings: <kind>/<workload>[@<scale>], e.g. "
+              "rule:scheduling/cpu-prime@2\n");
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  const char *Workload = argc > 1 ? argv[1] : "cpu-prime";
+  const char *Arg = argc > 1 ? argv[1] : "cpu-prime";
+  if (!std::strcmp(Arg, "--list") || !std::strcmp(Arg, "--help") ||
+      !std::strcmp(Arg, "-h")) {
+    std::printf("usage: %s [workload | spec | --list]\n\n", argv[0]);
+    listScenarios();
+    return 0;
+  }
 
-  // 1. A board: RAM, MMU state, UART, interrupt controller, timer, disk.
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-
-  // 2. Guest software: the mini kernel plus a user workload, assembled
-  //    to real ARM machine code and loaded into guest RAM.
-  if (!guestsw::setupGuest(Board, Workload, /*Scale=*/2)) {
-    std::fprintf(stderr, "unknown workload '%s'\n", Workload);
-    std::fprintf(stderr, "available:");
-    for (const auto &W : guestsw::workloads())
-      std::fprintf(stderr, " %s", W.Name);
-    std::fprintf(stderr, "\n");
+  // 1. A scenario: workload, scale, translator kind — one declarative
+  //    config, parseable from a spec string.
+  const std::string Spec =
+      std::strchr(Arg, '/') ? Arg : "rule:scheduling/" + std::string(Arg) + "@2";
+  std::string Err;
+  const vm::VmConfig Cfg = vm::VmConfig::fromSpec(Spec, &Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "%s\n\n", Err.c_str());
+    listScenarios();
     return 1;
   }
 
-  // 3. The translator under test: learned translation rules + all three
-  //    coordination optimizations of the paper.
-  const rules::RuleSet Rules = rules::buildReferenceRuleSet();
-  core::RuleTranslator Xlat(
-      Rules, core::OptConfig::forLevel(core::OptLevel::Scheduling));
+  // 2. The session: the Vm owns the board, the guest software (the mini
+  //    kernel plus the workload, assembled to real ARM machine code),
+  //    the rule set, the translator, and the DBT engine.
+  vm::Vm V(Cfg);
+  if (!V.valid()) {
+    std::fprintf(stderr, "%s\n", V.error().c_str());
+    return 1;
+  }
 
-  // 4. Run to guest power-off.
-  dbt::DbtEngine Engine(Board, Xlat);
-  const dbt::StopReason Stop = Engine.run(100ull * 1000 * 1000 * 1000);
+  // 3. Run to guest power-off; everything measured is in the report.
+  const vm::RunReport R = V.run();
 
-  std::printf("workload:        %s\n", Workload);
-  std::printf("stop reason:     %s\n",
-              Stop == dbt::StopReason::GuestShutdown ? "guest shutdown"
-                                                     : "limit/deadlock");
-  std::printf("guest console:   %s", Board.uart().output().c_str());
+  std::printf("scenario:        %s\n", R.Spec.c_str());
+  std::printf("stop reason:     %s\n", R.stopName());
+  std::printf("guest console:   %s", R.Console.c_str());
 
-  const host::ExecCounters &C = Engine.counters();
   std::printf("\nguest instructions:   %llu\n",
-              static_cast<unsigned long long>(C.GuestInstrs));
+              static_cast<unsigned long long>(R.guestInstrs()));
   std::printf("host cost (cycles):   %llu  (%.2f per guest instr)\n",
-              static_cast<unsigned long long>(C.Wall),
-              static_cast<double>(C.Wall) / C.GuestInstrs);
+              static_cast<unsigned long long>(R.wall()), R.hostPerGuest());
   std::printf("sync instructions:    %llu  (%.2f per guest instr)\n",
-              static_cast<unsigned long long>(
-                  C.ByClass[static_cast<unsigned>(host::CostClass::Sync)]),
-              static_cast<double>(
-                  C.ByClass[static_cast<unsigned>(host::CostClass::Sync)]) /
-                  C.GuestInstrs);
+              static_cast<unsigned long long>(R.syncInstrs()),
+              R.syncPerGuest());
   std::printf("coordination ops:     %llu\n",
-              static_cast<unsigned long long>(C.SyncOps));
+              static_cast<unsigned long long>(R.syncOps()));
   std::printf("TB translations:      %llu, chain follows: %llu\n",
-              static_cast<unsigned long long>(Engine.Stats.Translations),
-              static_cast<unsigned long long>(C.ChainFollows));
+              static_cast<unsigned long long>(R.Engine.Translations),
+              static_cast<unsigned long long>(R.Counters.ChainFollows));
   std::printf("IRQs delivered:       %llu, guest exceptions: %llu\n",
-              static_cast<unsigned long long>(Engine.Stats.IrqsDelivered),
-              static_cast<unsigned long long>(Engine.Stats.GuestExceptions));
+              static_cast<unsigned long long>(R.Engine.IrqsDelivered),
+              static_cast<unsigned long long>(R.Engine.GuestExceptions));
   std::printf("rule-covered instrs:  %llu (fallback %llu)\n",
-              static_cast<unsigned long long>(Xlat.RuleCoveredInstrs),
-              static_cast<unsigned long long>(Xlat.FallbackInstrs));
-  return 0;
+              static_cast<unsigned long long>(R.RuleCoveredInstrs),
+              static_cast<unsigned long long>(R.FallbackInstrs));
+  return R.Ok ? 0 : 1;
 }

@@ -17,6 +17,16 @@ using host::ExitReason;
 
 Translator::~Translator() = default;
 
+const char *dbt::toString(StopReason R) {
+  switch (R) {
+  case StopReason::GuestShutdown: return "guest shutdown";
+  case StopReason::WallLimit: return "wall limit";
+  case StopReason::Deadlock: return "deadlock";
+  case StopReason::Runaway: return "runaway";
+  }
+  return "?";
+}
+
 bool Translator::allowChainFlagElision(const host::HostBlock &,
                                        const host::HostBlock &) const {
   return false;

@@ -39,6 +39,9 @@ enum class StopReason : uint8_t {
   Runaway,       ///< per-run host instruction guard tripped
 };
 
+/// Human-readable stop-reason label ("guest shutdown", "wall limit", ...).
+const char *toString(StopReason R);
+
 /// Engine-side statistics (the host machine keeps the instruction-level
 /// counters; see host::ExecCounters).
 struct EngineStats {
@@ -59,6 +62,14 @@ public:
   StopReason run(uint64_t MaxWallCycles);
 
   const host::ExecCounters &counters() const { return Machine.Counters; }
+
+  /// Caps host instructions per code-cache stint; exceeding it makes
+  /// run() return StopReason::Runaway (the guard behind untrusted or
+  /// experimental translators).
+  void setRunawayGuard(uint64_t MaxHostInstrsPerRun) {
+    Machine.MaxInstrsPerRun = MaxHostInstrsPerRun;
+  }
+
   EngineStats Stats;
   sys::Mmu &mmu() { return Mmu_; }
   CodeCache &codeCache() { return Cache; }

@@ -64,14 +64,6 @@ HostTemplateOp tMov(int8_t Dst, int8_t Src, bool SkipIfEq = true) {
   T.SkipIfDstEqSrc = SkipIfEq;
   return T;
 }
-HostTemplateOp tMovI(int8_t Dst, uint32_t Imm) {
-  HostTemplateOp T;
-  T.Op = HOp::Mov;
-  T.Dst = Dst;
-  T.UseImm = true;
-  T.ImmExact = Imm;
-  return T;
-}
 HostTemplateOp tMovImmP(int8_t Dst, int8_t ImmP) {
   HostTemplateOp T;
   T.Op = HOp::Mov;

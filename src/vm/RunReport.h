@@ -1,0 +1,87 @@
+//===- vm/RunReport.h - Structured result of one Vm run ---------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything one Vm::run() measured, in one struct: the stop reason,
+/// the host machine's exact execution counters, the engine-side
+/// statistics, the translator's translation-time statistics, the guest
+/// console output, and the derived per-guest-instruction ratios every
+/// figure reproduction reports. Label/MetricKey carry the translator
+/// kind's presentation metadata so JSON emission, EXPERIMENTS.md tables,
+/// and test assertions all read the same struct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_VM_RUNREPORT_H
+#define RDBT_VM_RUNREPORT_H
+
+#include "dbt/Engine.h"
+#include "host/HostMachine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rdbt {
+namespace vm {
+
+struct RunReport {
+  /// Why the run ended. Ok is the common assertion: a clean guest
+  /// power-off.
+  dbt::StopReason Stop = dbt::StopReason::WallLimit;
+  bool Ok = false;
+
+  /// The scenario that produced this report (VmConfig::toSpec()) plus
+  /// the translator kind's table label and identifier-safe metric key.
+  std::string Spec;
+  std::string Label;
+  std::string MetricKey;
+
+  /// Guest console output (UART TX bytes).
+  std::string Console;
+
+  /// Host-machine counters. For the native executor only Wall and
+  /// GuestInstrs are meaningful (1 cycle per guest instruction).
+  host::ExecCounters Counters;
+
+  /// Engine-side statistics (all zero for the native executor).
+  dbt::EngineStats Engine;
+
+  /// Rule-translator translation statistics (zero for other kinds).
+  uint64_t RuleCoveredInstrs = 0;
+  uint64_t FallbackInstrs = 0;
+
+  // --- Shorthands for the quantities the figures report -------------------
+
+  uint64_t wall() const { return Counters.Wall; }
+  uint64_t guestInstrs() const { return Counters.GuestInstrs; }
+  uint64_t memInstrs() const { return Counters.GuestMemInstrs; }
+  uint64_t sysInstrs() const { return Counters.GuestSysInstrs; }
+  uint64_t irqChecks() const { return Counters.IrqChecks; }
+  uint64_t syncOps() const { return Counters.SyncOps; }
+  uint64_t syncInstrs() const {
+    return Counters.ByClass[static_cast<unsigned>(host::CostClass::Sync)];
+  }
+
+  /// Average host cost per guest instruction (Fig. 15).
+  double hostPerGuest() const {
+    return Counters.GuestInstrs
+               ? static_cast<double>(Counters.Wall) / Counters.GuestInstrs
+               : 0;
+  }
+  /// Coordination host-instructions per guest instruction (Fig. 17).
+  double syncPerGuest() const {
+    return Counters.GuestInstrs
+               ? static_cast<double>(syncInstrs()) / Counters.GuestInstrs
+               : 0;
+  }
+
+  const char *stopName() const { return dbt::toString(Stop); }
+};
+
+} // namespace vm
+} // namespace rdbt
+
+#endif // RDBT_VM_RUNREPORT_H

@@ -1,0 +1,111 @@
+//===- vm/TranslatorRegistry.cpp - Named translator factories --------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/TranslatorRegistry.h"
+
+#include "ir/QemuTranslator.h"
+
+using namespace rdbt;
+using namespace rdbt::vm;
+
+namespace {
+
+TranslatorRegistry::KindInfo ruleKind(const char *Name, const char *Label,
+                                      const char *MetricKey,
+                                      core::OptLevel Level) {
+  TranslatorRegistry::KindInfo K;
+  K.Name = Name;
+  K.Label = Label;
+  K.MetricKey = MetricKey;
+  K.NeedsRules = true;
+  K.Make = [Level](const TranslatorRegistry::Context &Ctx)
+      -> std::unique_ptr<dbt::Translator> {
+    if (!Ctx.Rules)
+      return nullptr;
+    const core::OptConfig Cfg =
+        Ctx.Opts ? *Ctx.Opts : core::OptConfig::forLevel(Level);
+    return std::make_unique<core::RuleTranslator>(*Ctx.Rules, Cfg);
+  };
+  return K;
+}
+
+} // namespace
+
+TranslatorRegistry::TranslatorRegistry() {
+  {
+    KindInfo K;
+    K.Name = "native";
+    K.Label = "native";
+    K.MetricKey = "native";
+    K.UsesEngine = false;
+    registerKind(std::move(K));
+  }
+  {
+    KindInfo K;
+    K.Name = "qemu";
+    K.Label = "qemu-6.1";
+    K.MetricKey = "qemu";
+    K.Make = [](const Context &) -> std::unique_ptr<dbt::Translator> {
+      return std::make_unique<ir::QemuTranslator>();
+    };
+    registerKind(std::move(K));
+  }
+  registerKind(ruleKind("rule:base", "rule-base", "rule_base",
+                        core::OptLevel::Base));
+  registerKind(ruleKind("rule:reduction", "+reduction", "reduction",
+                        core::OptLevel::Reduction));
+  registerKind(ruleKind("rule:elimination", "+elimination", "elimination",
+                        core::OptLevel::Elimination));
+  {
+    KindInfo K = ruleKind("rule:scheduling", "+scheduling", "full_opt",
+                          core::OptLevel::Scheduling);
+    K.Aliases = {"rule"};
+    registerKind(std::move(K));
+  }
+}
+
+TranslatorRegistry &TranslatorRegistry::global() {
+  static TranslatorRegistry R;
+  return R;
+}
+
+bool TranslatorRegistry::registerKind(KindInfo Info) {
+  if (Info.Name.empty() || find(Info.Name))
+    return false;
+  for (const std::string &A : Info.Aliases)
+    if (find(A))
+      return false;
+  Kinds.push_back(std::move(Info));
+  return true;
+}
+
+const TranslatorRegistry::KindInfo *
+TranslatorRegistry::find(const std::string &Name) const {
+  for (const KindInfo &K : Kinds) {
+    if (K.Name == Name)
+      return &K;
+    for (const std::string &A : K.Aliases)
+      if (A == Name)
+        return &K;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TranslatorRegistry::kinds() const {
+  std::vector<std::string> Names;
+  Names.reserve(Kinds.size());
+  for (const KindInfo &K : Kinds)
+    Names.push_back(K.Name);
+  return Names;
+}
+
+std::unique_ptr<dbt::Translator>
+TranslatorRegistry::create(const std::string &Name, const Context &Ctx) const {
+  const KindInfo *K = find(Name);
+  if (!K || !K->Make)
+    return nullptr;
+  return K->Make(Ctx);
+}

@@ -1,0 +1,99 @@
+//===- vm/Vm.cpp - One DBT session behind one object ------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "core/RuleTranslator.h"
+#include "guestsw/MiniKernel.h"
+#include "guestsw/Workloads.h"
+#include "sys/Interpreter.h"
+
+using namespace rdbt;
+using namespace rdbt::vm;
+
+Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
+  Kind_ = TranslatorRegistry::global().find(Cfg.translator());
+  if (!Kind_) {
+    Error_ = "unknown translator kind '" + Cfg.translator() + "'";
+    Board_ = std::make_unique<sys::Platform>(guestsw::KernelLayout::MinRam);
+    return;
+  }
+
+  const uint32_t Ram =
+      Cfg.ramBytes() ? Cfg.ramBytes() : guestsw::KernelLayout::MinRam;
+  Board_ = std::make_unique<sys::Platform>(Ram);
+
+  if (Cfg.isFlatImage()) {
+    Board_->Ram.loadWords(Cfg.flatImageBase(), Cfg.flatImage());
+    sys::resetEnv(Board_->Env);
+    Board_->Env.Regs[15] = Cfg.flatImageBase();
+  } else if (Cfg.workload().empty()) {
+    Error_ = "no workload configured";
+    return;
+  } else if (!guestsw::setupGuest(*Board_, Cfg.workload(), Cfg.scale())) {
+    Error_ = "unknown workload '" + Cfg.workload() + "'";
+    return;
+  }
+
+  if (!Kind_->UsesEngine)
+    return; // interpreter-executed: no translator, no engine
+
+  TranslatorRegistry::Context Ctx;
+  const core::OptConfig Opts = Cfg.hasOpts() ? Cfg.opts() : core::OptConfig();
+  if (Cfg.hasOpts())
+    Ctx.Opts = &Opts;
+  if (Kind_->NeedsRules) {
+    if (!Cfg.rules())
+      OwnedRules_ = rules::buildReferenceRuleSet();
+    Ctx.Rules = Cfg.rules() ? Cfg.rules() : &OwnedRules_;
+  }
+  Xlat_ = TranslatorRegistry::global().create(Kind_->Name, Ctx);
+  if (!Xlat_) {
+    Error_ = "translator factory for '" + Kind_->Name + "' failed";
+    return;
+  }
+  Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
+  Engine_->setRunawayGuard(Cfg.runawayGuard());
+}
+
+Vm::~Vm() = default;
+
+RunReport Vm::run() { return run(Cfg.wallBudget()); }
+
+RunReport Vm::run(uint64_t WallBudget) {
+  RunReport R;
+  R.Spec = Cfg.toSpec();
+  if (Kind_) {
+    R.Label = Kind_->Label;
+    R.MetricKey = Kind_->MetricKey;
+  }
+  if (!valid())
+    return R;
+
+  if (!Kind_->UsesEngine) {
+    const sys::SystemRunResult Res =
+        sys::runSystemInterpreter(*Board_, WallBudget);
+    R.Stop = Res.Shutdown ? dbt::StopReason::GuestShutdown
+             : Res.Deadlocked ? dbt::StopReason::Deadlock
+                              : dbt::StopReason::WallLimit;
+    // Native execution: one cycle per guest instruction. Accumulate
+    // across resumed runs to match the engine path's counter semantics.
+    NativeInstrs_ += Res.InstrsRetired;
+    R.Counters.Wall = NativeInstrs_;
+    R.Counters.GuestInstrs = NativeInstrs_;
+  } else {
+    R.Stop = Engine_->run(WallBudget);
+    R.Counters = Engine_->counters();
+    R.Engine = Engine_->Stats;
+    if (const auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get())) {
+      R.RuleCoveredInstrs = Rule->RuleCoveredInstrs;
+      R.FallbackInstrs = Rule->FallbackInstrs;
+    }
+  }
+  R.Ok = R.Stop == dbt::StopReason::GuestShutdown;
+  R.Console = Board_->uart().output();
+  return R;
+}

@@ -1,0 +1,94 @@
+//===- vm/Vm.h - One DBT session behind one object --------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session facade over the whole stack: a Vm owns the board, the
+/// guest software, the rule set, the translator, and the DBT engine, and
+/// exposes run() returning a structured RunReport. What used to be the
+/// six-step boilerplate in every bench/example/test main() —
+///
+///   sys::Platform Board(...);
+///   guestsw::setupGuest(Board, Name, Scale);
+///   rules::RuleSet RS = rules::buildReferenceRuleSet();
+///   core::RuleTranslator Xlat(RS, core::OptConfig::forLevel(...));
+///   dbt::DbtEngine Engine(Board, Xlat);
+///   Engine.run(Budget);            // + manual counter scraping
+///
+/// — is now
+///
+///   vm::Vm V(vm::VmConfig::fromSpec("rule:scheduling/cpu-prime@2"));
+///   vm::RunReport R = V.run();
+///
+/// The translator kind "native" runs the reference interpreter instead
+/// of a DBT engine (the Fig. 18 baseline), so the whole scenario matrix
+/// (workload x translator x opt-level) is addressable through one API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_VM_VM_H
+#define RDBT_VM_VM_H
+
+#include "dbt/Engine.h"
+#include "rules/RuleSet.h"
+#include "sys/Platform.h"
+#include "vm/RunReport.h"
+#include "vm/TranslatorRegistry.h"
+#include "vm/VmConfig.h"
+
+#include <memory>
+#include <string>
+
+namespace rdbt {
+namespace vm {
+
+class Vm {
+public:
+  /// Builds the full stack for \p Cfg. Construction never throws; an
+  /// unknown kind/workload leaves the Vm invalid with error() set, and
+  /// run() then reports Ok = false.
+  explicit Vm(VmConfig Cfg);
+  ~Vm();
+
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  bool valid() const { return Error_.empty(); }
+  const std::string &error() const { return Error_; }
+  const VmConfig &config() const { return Cfg; }
+
+  /// Runs the guest until shutdown or until the config's wall budget is
+  /// exhausted. May be called again to continue a WallLimit-stopped run
+  /// with a fresh budget; counters accumulate.
+  RunReport run();
+
+  /// Same, with an explicit budget for this call (the budget is always
+  /// relative: a resumed run gets \p WallBudget *more* cycles).
+  RunReport run(uint64_t WallBudget);
+
+  // --- Escape hatches for tests and tooling -------------------------------
+
+  sys::Platform &board() { return *Board_; }
+  /// nullptr for the native executor.
+  dbt::DbtEngine *engine() { return Engine_.get(); }
+  dbt::Translator *translator() { return Xlat_.get(); }
+  /// The resolved registry entry (nullptr when invalid).
+  const TranslatorRegistry::KindInfo *kind() const { return Kind_; }
+
+private:
+  VmConfig Cfg;
+  std::string Error_;
+  const TranslatorRegistry::KindInfo *Kind_ = nullptr;
+  std::unique_ptr<sys::Platform> Board_;
+  uint64_t NativeInstrs_ = 0; ///< native executor: instrs across run() calls
+  rules::RuleSet OwnedRules_; ///< reference set, when no external set given
+  std::unique_ptr<dbt::Translator> Xlat_;
+  std::unique_ptr<dbt::DbtEngine> Engine_;
+};
+
+} // namespace vm
+} // namespace rdbt
+
+#endif // RDBT_VM_VM_H

@@ -1,0 +1,103 @@
+//===- vm/VmConfig.cpp - Declarative VM session configuration --------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VmConfig.h"
+
+#include "guestsw/Workloads.h"
+#include "vm/TranslatorRegistry.h"
+
+using namespace rdbt;
+using namespace rdbt::vm;
+
+VmConfig &VmConfig::optLevel(core::OptLevel L) {
+  switch (L) {
+  case core::OptLevel::Base: Translator_ = "rule:base"; break;
+  case core::OptLevel::Reduction: Translator_ = "rule:reduction"; break;
+  case core::OptLevel::Elimination: Translator_ = "rule:elimination"; break;
+  case core::OptLevel::Scheduling: Translator_ = "rule:scheduling"; break;
+  }
+  return *this;
+}
+
+VmConfig &VmConfig::flatImage(std::vector<uint32_t> Words, uint32_t Base) {
+  FlatImage_ = std::move(Words);
+  FlatImageBase_ = Base;
+  UseFlatImage_ = true;
+  Workload_.clear();
+  return *this;
+}
+
+namespace {
+
+bool knownWorkload(const std::string &Name) {
+  for (const guestsw::WorkloadInfo &W : guestsw::workloads())
+    if (Name == W.Name)
+      return true;
+  return false;
+}
+
+VmConfig failSpec(const std::string &Why, std::string *Error) {
+  if (Error)
+    *Error = Why;
+  VmConfig C;
+  C.translator(""); // unusable: Vm reports the unknown kind
+  return C;
+}
+
+} // namespace
+
+VmConfig VmConfig::fromSpec(const std::string &Spec, std::string *Error) {
+  if (Error)
+    Error->clear();
+  std::string Kind = Spec, Workload, ScaleText;
+  const size_t Slash = Spec.find('/');
+  if (Slash != std::string::npos) {
+    Kind = Spec.substr(0, Slash);
+    Workload = Spec.substr(Slash + 1);
+    const size_t At = Workload.find('@');
+    if (At != std::string::npos) {
+      ScaleText = Workload.substr(At + 1);
+      Workload = Workload.substr(0, At);
+    }
+  }
+
+  const TranslatorRegistry::KindInfo *K =
+      TranslatorRegistry::global().find(Kind);
+  if (!K)
+    return failSpec("unknown translator kind '" + Kind + "'", Error);
+  if (!Workload.empty() && !knownWorkload(Workload))
+    return failSpec("unknown workload '" + Workload + "'", Error);
+
+  uint32_t Scale = 1;
+  if (!ScaleText.empty()) {
+    Scale = 0;
+    for (const char C : ScaleText) {
+      const uint32_t Digit = static_cast<uint32_t>(C - '0');
+      if (C < '0' || C > '9' || Scale > (0xFFFFFFFFu - Digit) / 10)
+        return failSpec("bad scale '" + ScaleText + "'", Error);
+      Scale = Scale * 10 + Digit;
+    }
+    if (Scale == 0)
+      return failSpec("bad scale '" + ScaleText + "'", Error);
+  }
+
+  VmConfig C;
+  C.translator(K->Name); // canonical name, aliases resolved
+  if (!Workload.empty())
+    C.workload(Workload);
+  C.scale(Scale);
+  return C;
+}
+
+std::string VmConfig::toSpec() const {
+  std::string Spec = Translator_;
+  if (!Workload_.empty()) {
+    Spec += "/" + Workload_;
+    if (Scale_ != 1)
+      Spec += "@" + std::to_string(Scale_);
+  }
+  return Spec;
+}

@@ -1,0 +1,142 @@
+//===- vm/VmConfig.h - Declarative VM session configuration -----*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative description of one DBT session: which guest workload
+/// at which scale, how much RAM, which translator kind (a
+/// TranslatorRegistry name), optional optimization-switch overrides, and
+/// the run budgets. A VmConfig is a value — build it with the chainable
+/// setters, parse it from a spec string, stamp out as many Vm instances
+/// from it as needed.
+///
+/// Spec strings name a whole scenario in one identifier, which is what
+/// lets benches and CLIs select (workload x translator x opt-level)
+/// matrix points by name:
+///
+///   <kind>[/<workload>[@<scale>]]
+///
+///   "rule:scheduling/cpu-prime@2"   full-opt rules, cpu-prime, scale 2
+///   "qemu/mcf"                      baseline translator, scale 1
+///   "native/hmmer@4"                reference interpreter
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_VM_VMCONFIG_H
+#define RDBT_VM_VMCONFIG_H
+
+#include "core/RuleTranslator.h"
+#include "rules/RuleSet.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdbt {
+namespace vm {
+
+class VmConfig {
+public:
+  /// Defaults: full-opt rule translator, scale 1, minimum kernel RAM,
+  /// the 400 G-cycle wall budget the benches always used, no runaway
+  /// guard, reference rule set.
+  VmConfig() = default;
+
+  // --- Chainable setters --------------------------------------------------
+
+  VmConfig &workload(std::string Name) {
+    Workload_ = std::move(Name);
+    return *this;
+  }
+  VmConfig &scale(uint32_t S) {
+    Scale_ = S;
+    return *this;
+  }
+  VmConfig &ramBytes(uint32_t Bytes) {
+    RamBytes_ = Bytes;
+    return *this;
+  }
+  /// A TranslatorRegistry kind name or alias ("qemu", "rule", ...).
+  VmConfig &translator(std::string Kind) {
+    Translator_ = std::move(Kind);
+    return *this;
+  }
+  /// Shorthand for the rule translator at a cumulative opt level.
+  VmConfig &optLevel(core::OptLevel L);
+  /// Overrides the kind's preset optimization switches (ablations).
+  VmConfig &opts(const core::OptConfig &C) {
+    Opts_ = C;
+    HasOpts_ = true;
+    return *this;
+  }
+  /// Emulation-cost budget for run(); the stop reason is WallLimit when
+  /// it is exhausted. For the native executor the budget is in guest
+  /// instructions (1 cycle/instruction).
+  VmConfig &wallBudget(uint64_t Cycles) {
+    WallBudget_ = Cycles;
+    return *this;
+  }
+  /// Caps host instructions per code-cache stint (StopReason::Runaway).
+  VmConfig &runawayGuard(uint64_t MaxHostInstrsPerRun) {
+    RunawayGuard_ = MaxHostInstrsPerRun;
+    return *this;
+  }
+  /// Uses \p Rules (caller-owned, must outlive the Vm) instead of the
+  /// built-in reference rule set — e.g. a freshly learned set.
+  VmConfig &rules(const rules::RuleSet *Rules) {
+    Rules_ = Rules;
+    return *this;
+  }
+  /// Bypasses the guest kernel: load \p Words at physical \p Base, reset
+  /// the env and start executing there (the differential-fuzz setup).
+  VmConfig &flatImage(std::vector<uint32_t> Words, uint32_t Base);
+
+  // --- Accessors ----------------------------------------------------------
+
+  const std::string &workload() const { return Workload_; }
+  uint32_t scale() const { return Scale_; }
+  uint32_t ramBytes() const { return RamBytes_; }
+  const std::string &translator() const { return Translator_; }
+  bool hasOpts() const { return HasOpts_; }
+  const core::OptConfig &opts() const { return Opts_; }
+  uint64_t wallBudget() const { return WallBudget_; }
+  uint64_t runawayGuard() const { return RunawayGuard_; }
+  const rules::RuleSet *rules() const { return Rules_; }
+  bool isFlatImage() const { return UseFlatImage_; }
+  const std::vector<uint32_t> &flatImage() const { return FlatImage_; }
+  uint32_t flatImageBase() const { return FlatImageBase_; }
+
+  // --- Spec strings -------------------------------------------------------
+
+  /// Parses "<kind>[/<workload>[@<scale>]]". The kind must be registered
+  /// and the workload known; on failure the returned config is unusable
+  /// (Vm construction reports the error) and *Error, when given, says
+  /// why.
+  static VmConfig fromSpec(const std::string &Spec,
+                           std::string *Error = nullptr);
+
+  /// The canonical spec string for this config ("kind/workload@scale",
+  /// scale omitted when 1). fromSpec(toSpec()) round-trips.
+  std::string toSpec() const;
+
+private:
+  std::string Workload_;
+  uint32_t Scale_ = 1;
+  uint32_t RamBytes_ = 0; ///< 0 = KernelLayout::MinRam
+  std::string Translator_ = "rule:scheduling";
+  core::OptConfig Opts_;
+  bool HasOpts_ = false;
+  uint64_t WallBudget_ = 400ull * 1000 * 1000 * 1000;
+  uint64_t RunawayGuard_ = ~0ull;
+  const rules::RuleSet *Rules_ = nullptr;
+  std::vector<uint32_t> FlatImage_;
+  uint32_t FlatImageBase_ = 0;
+  bool UseFlatImage_ = false;
+};
+
+} // namespace vm
+} // namespace rdbt
+
+#endif // RDBT_VM_VMCONFIG_H

@@ -19,10 +19,8 @@
 
 #include "arm/AsmBuilder.h"
 #include "core/RuleTranslator.h"
-#include "dbt/Engine.h"
-#include "ir/QemuTranslator.h"
 #include "support/Rng.h"
-#include "sys/Interpreter.h"
+#include "vm/Vm.h"
 
 #include <gtest/gtest.h>
 
@@ -210,26 +208,31 @@ std::string diffState(const FinalState &A, const FinalState &B) {
   return Text.empty() ? " (shutdown flag)" : Text;
 }
 
-void installFlat(sys::Platform &Board, const std::vector<uint32_t> &Words) {
-  Board.Ram.loadWords(CodeBase, Words);
-  sys::resetEnv(Board.Env);
-  Board.Env.Regs[15] = CodeBase;
+/// Runs the flat random image under one executor kind (the Vm's
+/// flat-image mode bypasses the guest kernel) and captures final state.
+/// The reference rule set is built once and shared across all seeds and
+/// opt levels via the .rules() hook.
+FinalState runFlat(const std::vector<uint32_t> &Words,
+                   const std::string &Kind, uint64_t Budget) {
+  static const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  vm::Vm V(vm::VmConfig()
+               .translator(Kind)
+               .rules(&RS)
+               .ramBytes(8 << 20)
+               .wallBudget(Budget)
+               .flatImage(Words, CodeBase));
+  EXPECT_TRUE(V.valid()) << V.error();
+  V.run();
+  return capture(V.board());
 }
 
 FinalState runInterp(const std::vector<uint32_t> &Words) {
-  sys::Platform Board(8 << 20);
-  installFlat(Board, Words);
-  sys::runSystemInterpreter(Board, 10u * 1000 * 1000);
-  return capture(Board);
+  return runFlat(Words, "native", 10u * 1000 * 1000);
 }
 
 FinalState runEngine(const std::vector<uint32_t> &Words,
-                     dbt::Translator &Xlat) {
-  sys::Platform Board(8 << 20);
-  installFlat(Board, Words);
-  dbt::DbtEngine Engine(Board, Xlat);
-  Engine.run(2000ull * 1000 * 1000);
-  return capture(Board);
+                     const std::string &Kind) {
+  return runFlat(Words, Kind, 2000ull * 1000 * 1000);
 }
 
 class FuzzDifferential : public ::testing::TestWithParam<int> {};
@@ -242,17 +245,15 @@ TEST_P(FuzzDifferential, AllExecutorsAgree) {
   ASSERT_TRUE(Ref.Shutdown) << "random program did not terminate, seed "
                             << Seed;
 
-  ir::QemuTranslator Qemu;
-  const FinalState Q = runEngine(Words, Qemu);
+  const FinalState Q = runEngine(Words, "qemu");
   EXPECT_TRUE(Ref == Q) << "qemu-mode diverged, seed " << Seed
                         << diffState(Ref, Q);
 
-  const rules::RuleSet RS = rules::buildReferenceRuleSet();
   for (const core::OptLevel L :
        {core::OptLevel::Base, core::OptLevel::Reduction,
         core::OptLevel::Elimination, core::OptLevel::Scheduling}) {
-    core::RuleTranslator Xlat(RS, core::OptConfig::forLevel(L));
-    const FinalState S = runEngine(Words, Xlat);
+    const FinalState S =
+        runEngine(Words, vm::VmConfig().optLevel(L).translator());
     EXPECT_TRUE(Ref == S) << "rule-mode diverged at "
                           << core::optLevelName(L) << ", seed " << Seed
                           << diffState(Ref, S);

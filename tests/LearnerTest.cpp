@@ -12,14 +12,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/RuleTranslator.h"
-#include "dbt/Engine.h"
-#include "guestsw/MiniKernel.h"
-#include "guestsw/Workloads.h"
 #include "rules/Learner.h"
 #include "rules/SymExec.h"
 #include "support/Rng.h"
 #include "sys/Interpreter.h"
+#include "vm/Vm.h"
 
 #include <gtest/gtest.h>
 
@@ -194,20 +191,24 @@ TEST(Learner, LearnedCoverageApproachesReference) {
 TEST(Learner, WorkloadsRunOnLearnedRulesOnly) {
   const RuleSet Learned = learnRuleSet(1200, 0x5EED1, nullptr);
   for (const char *Name : {"cpu-prime", "mcf", "sjeng"}) {
-    sys::Platform Ref(guestsw::KernelLayout::MinRam);
-    ASSERT_TRUE(guestsw::setupGuest(Ref, Name, 1));
-    sys::runSystemInterpreter(Ref, 400u * 1000 * 1000);
+    vm::Vm Ref(vm::VmConfig()
+                   .workload(Name)
+                   .translator("native")
+                   .wallBudget(400u * 1000 * 1000));
+    ASSERT_TRUE(Ref.valid()) << Ref.error();
+    const vm::RunReport RefRun = Ref.run();
 
-    sys::Platform Board(guestsw::KernelLayout::MinRam);
-    ASSERT_TRUE(guestsw::setupGuest(Board, Name, 1));
-    core::RuleTranslator Xlat(
-        Learned, core::OptConfig::forLevel(core::OptLevel::Scheduling));
-    dbt::DbtEngine Engine(Board, Xlat);
-    EXPECT_EQ(Engine.run(40ull * 1000 * 1000 * 1000),
-              dbt::StopReason::GuestShutdown);
-    EXPECT_EQ(Ref.uart().output(), Board.uart().output())
+    vm::Vm V(vm::VmConfig()
+                 .workload(Name)
+                 .translator("rule:scheduling")
+                 .rules(&Learned)
+                 .wallBudget(40ull * 1000 * 1000 * 1000));
+    ASSERT_TRUE(V.valid()) << V.error();
+    const vm::RunReport R = V.run();
+    EXPECT_EQ(R.Stop, dbt::StopReason::GuestShutdown);
+    EXPECT_EQ(RefRun.Console, R.Console)
         << Name << " diverged on learned rules";
-    EXPECT_GT(Xlat.RuleCoveredInstrs, Xlat.FallbackInstrs)
+    EXPECT_GT(R.RuleCoveredInstrs, R.FallbackInstrs)
         << "learned rules should cover most instructions";
   }
 }

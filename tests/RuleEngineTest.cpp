@@ -12,11 +12,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/RuleTranslator.h"
-#include "dbt/Engine.h"
-#include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
-#include "ir/QemuTranslator.h"
-#include "sys/Interpreter.h"
+#include "vm/Vm.h"
 
 #include <gtest/gtest.h>
 
@@ -24,33 +21,27 @@ using namespace rdbt;
 
 namespace {
 
-struct RuleRun {
-  std::string Console;
-  host::ExecCounters Counters;
-  dbt::StopReason Stop;
-};
-
-RuleRun runUnderRules(const std::string &Name, core::OptLevel Level,
-                      uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  EXPECT_TRUE(guestsw::setupGuest(Board, Name, Scale));
-  const rules::RuleSet RS = rules::buildReferenceRuleSet();
-  core::RuleTranslator Xlat(RS, core::OptConfig::forLevel(Level));
-  dbt::DbtEngine Engine(Board, Xlat);
-  RuleRun R;
-  R.Stop = Engine.run(40ull * 1000 * 1000 * 1000);
-  R.Console = Board.uart().output();
-  R.Counters = Engine.counters();
-  return R;
+vm::RunReport runUnderRules(const std::string &Name, core::OptLevel Level,
+                            uint32_t Scale) {
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .optLevel(Level)
+               .wallBudget(40ull * 1000 * 1000 * 1000));
+  EXPECT_TRUE(V.valid()) << V.error();
+  return V.run();
 }
 
 std::string interpreterReference(const std::string &Name, uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  EXPECT_TRUE(guestsw::setupGuest(Board, Name, Scale));
-  const sys::SystemRunResult R =
-      sys::runSystemInterpreter(Board, 400u * 1000 * 1000);
-  EXPECT_TRUE(R.Shutdown) << Name;
-  return Board.uart().output();
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .translator("native")
+               .wallBudget(400u * 1000 * 1000));
+  EXPECT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+  EXPECT_TRUE(R.Ok) << Name;
+  return R.Console;
 }
 
 using LevelCase = std::tuple<const char *, core::OptLevel>;
@@ -60,7 +51,7 @@ class RuleDifferential : public ::testing::TestWithParam<LevelCase> {};
 TEST_P(RuleDifferential, MatchesInterpreter) {
   const auto &[Name, Level] = GetParam();
   const std::string Ref = interpreterReference(Name, 1);
-  const RuleRun R = runUnderRules(Name, Level, 1);
+  const vm::RunReport R = runUnderRules(Name, Level, 1);
   EXPECT_EQ(R.Stop, dbt::StopReason::GuestShutdown)
       << Name << " @ " << core::optLevelName(Level);
   EXPECT_EQ(Ref, R.Console)
@@ -101,9 +92,9 @@ TEST(RuleEngine, SyncCostDropsMonotonicallyWithOptLevel) {
         core::OptLevel::Elimination, core::OptLevel::Scheduling}) {
     uint64_t Sync = 0, Guest = 0;
     for (const char *Name : Mix) {
-      const RuleRun R = runUnderRules(Name, L, 2);
-      Sync += R.Counters.ByClass[static_cast<unsigned>(host::CostClass::Sync)];
-      Guest += R.Counters.GuestInstrs;
+      const vm::RunReport R = runUnderRules(Name, L, 2);
+      Sync += R.syncInstrs();
+      Guest += R.guestInstrs();
     }
     const double SyncPerGuest =
         static_cast<double>(Sync) / static_cast<double>(Guest);
@@ -121,20 +112,19 @@ TEST(RuleEngine, SyncCostDropsMonotonicallyWithOptLevel) {
 TEST(RuleEngine, FullOptBeatsQemuBaselineOnWall) {
   // Fig. 14's headline: full-opt rule translation is faster than the
   // baseline; un-optimized rule translation is slower than it.
-  sys::Platform QemuBoard(guestsw::KernelLayout::MinRam);
-  ASSERT_TRUE(guestsw::setupGuest(QemuBoard, "hmmer", 2));
-  ir::QemuTranslator Qemu;
-  dbt::DbtEngine QemuEngine(QemuBoard, Qemu);
-  ASSERT_EQ(QemuEngine.run(40ull * 1000 * 1000 * 1000),
-            dbt::StopReason::GuestShutdown);
-  const uint64_t QemuWall = QemuEngine.counters().Wall;
+  vm::Vm Qemu(vm::VmConfig::fromSpec("qemu/hmmer@2")
+                  .wallBudget(40ull * 1000 * 1000 * 1000));
+  ASSERT_TRUE(Qemu.valid()) << Qemu.error();
+  const vm::RunReport Q = Qemu.run();
+  ASSERT_EQ(Q.Stop, dbt::StopReason::GuestShutdown);
 
-  const RuleRun Base = runUnderRules("hmmer", core::OptLevel::Base, 2);
-  const RuleRun Full = runUnderRules("hmmer", core::OptLevel::Scheduling, 2);
-  EXPECT_GT(Base.Counters.Wall, QemuWall)
+  const vm::RunReport Base = runUnderRules("hmmer", core::OptLevel::Base, 2);
+  const vm::RunReport Full =
+      runUnderRules("hmmer", core::OptLevel::Scheduling, 2);
+  EXPECT_GT(Base.wall(), Q.wall())
       << "un-optimized rule translation should lose to QEMU (the paper's "
          "5% slowdown)";
-  EXPECT_LT(Full.Counters.Wall, QemuWall)
+  EXPECT_LT(Full.wall(), Q.wall())
       << "full-opt rule translation should beat QEMU";
 }
 

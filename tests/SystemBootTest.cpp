@@ -11,11 +11,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "dbt/Engine.h"
 #include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
-#include "ir/QemuTranslator.h"
 #include "sys/Interpreter.h"
+#include "vm/Vm.h"
 
 #include <gtest/gtest.h>
 
@@ -24,25 +23,30 @@ using namespace rdbt;
 namespace {
 
 std::string runUnderInterpreter(const std::string &Name, uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  if (!guestsw::setupGuest(Board, Name, Scale))
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .translator("native")
+               .wallBudget(400u * 1000 * 1000));
+  if (!V.valid())
     return "<unknown workload>";
-  const sys::SystemRunResult R =
-      sys::runSystemInterpreter(Board, 400u * 1000 * 1000);
-  EXPECT_TRUE(R.Shutdown) << Name << " did not shut down (interp), "
-                          << R.InstrsRetired << " instrs";
-  return Board.uart().output();
+  const vm::RunReport R = V.run();
+  EXPECT_TRUE(R.Ok) << Name << " did not shut down (interp), "
+                    << R.guestInstrs() << " instrs";
+  return R.Console;
 }
 
 std::string runUnderQemu(const std::string &Name, uint32_t Scale) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  if (!guestsw::setupGuest(Board, Name, Scale))
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .translator("qemu")
+               .wallBudget(20ull * 1000 * 1000 * 1000));
+  if (!V.valid())
     return "<unknown workload>";
-  ir::QemuTranslator Xlat;
-  dbt::DbtEngine Engine(Board, Xlat);
-  const dbt::StopReason Stop = Engine.run(20ull * 1000 * 1000 * 1000);
-  EXPECT_EQ(Stop, dbt::StopReason::GuestShutdown) << Name;
-  return Board.uart().output();
+  const vm::RunReport R = V.run();
+  EXPECT_EQ(R.Stop, dbt::StopReason::GuestShutdown) << Name;
+  return R.Console;
 }
 
 class BootEveryWorkload : public ::testing::TestWithParam<const char *> {};
@@ -71,19 +75,21 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(SystemBoot, TimerTicksAdvance) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  ASSERT_TRUE(guestsw::setupGuest(Board, "perlbench", 2));
-  sys::runSystemInterpreter(Board, 400u * 1000 * 1000);
-  EXPECT_GT(Board.timer().ticks(), 0u) << "timer IRQs never fired";
+  vm::Vm V(vm::VmConfig::fromSpec("native/perlbench@2")
+               .wallBudget(400u * 1000 * 1000));
+  ASSERT_TRUE(V.valid()) << V.error();
+  V.run();
+  EXPECT_GT(V.board().timer().ticks(), 0u) << "timer IRQs never fired";
 }
 
 TEST(SystemBoot, DemandPagingAllocatesHeap) {
-  sys::Platform Board(guestsw::KernelLayout::MinRam);
-  ASSERT_TRUE(guestsw::setupGuest(Board, "astar", 1));
-  sys::runSystemInterpreter(Board, 400u * 1000 * 1000);
+  vm::Vm V(vm::VmConfig::fromSpec("native/astar")
+               .wallBudget(400u * 1000 * 1000));
+  ASSERT_TRUE(V.valid()) << V.error();
+  V.run();
   // The abort handler bumps the heap pointer beyond the pool base.
   const uint32_t HeapNext =
-      Board.Ram.read(guestsw::KernelLayout::VarHeapNext, 4);
+      V.board().Ram.read(guestsw::KernelLayout::VarHeapNext, 4);
   EXPECT_GT(HeapNext, guestsw::KernelLayout::HeapPhysPool);
 }
 

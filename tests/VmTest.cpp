@@ -1,0 +1,269 @@
+//===- tests/VmTest.cpp - Session facade tests ------------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The vm/ layer's contract: spec strings round-trip through
+/// VmConfig::fromSpec/toSpec, the translator registry enumerates and
+/// factory-constructs every kind, a Vm run reproduces a hand-assembled
+/// engine stack counter-for-counter, and the budget/guard knobs surface
+/// the WallLimit and Runaway stop reasons no other suite exercises.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RuleTranslator.h"
+#include "dbt/Engine.h"
+#include "guestsw/MiniKernel.h"
+#include "guestsw/Workloads.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdbt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Spec strings
+//===----------------------------------------------------------------------===//
+
+TEST(VmConfig, FromSpecParsesFullSpec) {
+  std::string Err;
+  const vm::VmConfig C =
+      vm::VmConfig::fromSpec("rule:scheduling/cpu-prime@2", &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(C.translator(), "rule:scheduling");
+  EXPECT_EQ(C.workload(), "cpu-prime");
+  EXPECT_EQ(C.scale(), 2u);
+}
+
+TEST(VmConfig, FromSpecDefaultsAndAliases) {
+  const vm::VmConfig C = vm::VmConfig::fromSpec("qemu/mcf");
+  EXPECT_EQ(C.translator(), "qemu");
+  EXPECT_EQ(C.scale(), 1u);
+
+  // Aliases resolve to the canonical kind name.
+  const vm::VmConfig R = vm::VmConfig::fromSpec("rule/hmmer@3");
+  EXPECT_EQ(R.translator(), "rule:scheduling");
+  EXPECT_EQ(R.scale(), 3u);
+
+  // A bare kind (no workload) is valid; the workload can be set later.
+  const vm::VmConfig K = vm::VmConfig::fromSpec("native");
+  EXPECT_EQ(K.translator(), "native");
+  EXPECT_TRUE(K.workload().empty());
+}
+
+TEST(VmConfig, SpecRoundTrips) {
+  for (const char *Spec :
+       {"rule:scheduling/cpu-prime@2", "qemu/mcf", "native/hmmer@4",
+        "rule:base/perlbench"}) {
+    std::string Err;
+    const vm::VmConfig C = vm::VmConfig::fromSpec(Spec, &Err);
+    EXPECT_TRUE(Err.empty()) << Spec << ": " << Err;
+    EXPECT_EQ(C.toSpec(), Spec);
+  }
+}
+
+TEST(VmConfig, FromSpecRejectsGarbage) {
+  std::string Err;
+  vm::VmConfig::fromSpec("tcg/mcf", &Err);
+  EXPECT_NE(Err.find("unknown translator kind"), std::string::npos) << Err;
+  vm::VmConfig::fromSpec("qemu/spec2017", &Err);
+  EXPECT_NE(Err.find("unknown workload"), std::string::npos) << Err;
+  vm::VmConfig::fromSpec("qemu/mcf@zero", &Err);
+  EXPECT_NE(Err.find("bad scale"), std::string::npos) << Err;
+  vm::VmConfig::fromSpec("qemu/mcf@0", &Err);
+  EXPECT_NE(Err.find("bad scale"), std::string::npos) << Err;
+  vm::VmConfig::fromSpec("qemu/mcf@4294967297", &Err); // uint32 overflow
+  EXPECT_NE(Err.find("bad scale"), std::string::npos) << Err;
+
+  // An unparsable spec yields a config Vm refuses to build.
+  vm::Vm V(vm::VmConfig::fromSpec("tcg/mcf"));
+  EXPECT_FALSE(V.valid());
+  EXPECT_FALSE(V.run().Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Translator registry
+//===----------------------------------------------------------------------===//
+
+TEST(TranslatorRegistry, EnumeratesBuiltinKinds) {
+  const std::vector<std::string> Kinds =
+      vm::TranslatorRegistry::global().kinds();
+  for (const char *Expected :
+       {"native", "qemu", "rule:base", "rule:reduction", "rule:elimination",
+        "rule:scheduling"}) {
+    bool Found = false;
+    for (const std::string &K : Kinds)
+      Found = Found || K == Expected;
+    EXPECT_TRUE(Found) << "missing kind " << Expected;
+  }
+}
+
+TEST(TranslatorRegistry, FactoriesConstructTranslators) {
+  vm::TranslatorRegistry &Reg = vm::TranslatorRegistry::global();
+
+  vm::TranslatorRegistry::Context Ctx;
+  const auto Qemu = Reg.create("qemu", Ctx);
+  ASSERT_TRUE(Qemu != nullptr);
+  EXPECT_EQ(std::string(Qemu->name()), "qemu-6.1-baseline");
+
+  // Rule kinds require a rule set; without one the factory declines.
+  EXPECT_TRUE(Reg.create("rule:scheduling", Ctx) == nullptr);
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  Ctx.Rules = &RS;
+  const auto Rule = Reg.create("rule", Ctx); // via alias
+  ASSERT_TRUE(Rule != nullptr);
+  EXPECT_EQ(std::string(Rule->name()), "rule-based");
+
+  // "native" is interpreter-executed: listed, but no translator exists.
+  ASSERT_TRUE(Reg.find("native") != nullptr);
+  EXPECT_FALSE(Reg.find("native")->UsesEngine);
+  EXPECT_TRUE(Reg.create("native", Ctx) == nullptr);
+
+  EXPECT_TRUE(Reg.create("no-such-kind", Ctx) == nullptr);
+}
+
+TEST(TranslatorRegistry, RejectsNameCollisions) {
+  vm::TranslatorRegistry::KindInfo K;
+  K.Name = "qemu"; // collides with a built-in
+  EXPECT_FALSE(vm::TranslatorRegistry::global().registerKind(K));
+  K.Name = "qemu-variant";
+  K.Aliases = {"rule"}; // alias collides too
+  EXPECT_FALSE(vm::TranslatorRegistry::global().registerKind(K));
+}
+
+//===----------------------------------------------------------------------===//
+// Vm vs the hand-assembled stack
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, MatchesHandAssembledEngineStack) {
+  const char *Name = "libquantum";
+  const uint32_t Scale = 1;
+  const uint64_t Budget = 400ull * 1000 * 1000 * 1000;
+
+  // The six-step stack the facade replaces, assembled by hand.
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  ASSERT_TRUE(guestsw::setupGuest(Board, Name, Scale));
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  core::RuleTranslator Xlat(
+      RS, core::OptConfig::forLevel(core::OptLevel::Scheduling));
+  dbt::DbtEngine Engine(Board, Xlat);
+  const dbt::StopReason Stop = Engine.run(Budget);
+  ASSERT_EQ(Stop, dbt::StopReason::GuestShutdown);
+
+  vm::Vm V(vm::VmConfig()
+               .workload(Name)
+               .scale(Scale)
+               .translator("rule:scheduling")
+               .wallBudget(Budget));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+
+  EXPECT_EQ(R.Stop, Stop);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Console, Board.uart().output());
+
+  // Counter-for-counter: the facade must change nothing about the run.
+  const host::ExecCounters &C = Engine.counters();
+  EXPECT_EQ(R.Counters.Wall, C.Wall);
+  EXPECT_EQ(R.Counters.GuestInstrs, C.GuestInstrs);
+  EXPECT_EQ(R.Counters.GuestMemInstrs, C.GuestMemInstrs);
+  EXPECT_EQ(R.Counters.GuestSysInstrs, C.GuestSysInstrs);
+  EXPECT_EQ(R.Counters.IrqChecks, C.IrqChecks);
+  EXPECT_EQ(R.Counters.SyncOps, C.SyncOps);
+  EXPECT_EQ(R.Counters.TbEntries, C.TbEntries);
+  EXPECT_EQ(R.Counters.ChainFollows, C.ChainFollows);
+  EXPECT_EQ(R.Counters.HelperCalls, C.HelperCalls);
+  for (unsigned K = 0; K < host::NumCostClasses; ++K)
+    EXPECT_EQ(R.Counters.ByClass[K], C.ByClass[K]) << "cost class " << K;
+
+  EXPECT_EQ(R.Engine.Translations, Engine.Stats.Translations);
+  EXPECT_EQ(R.Engine.IrqsDelivered, Engine.Stats.IrqsDelivered);
+  EXPECT_EQ(R.Engine.GuestExceptions, Engine.Stats.GuestExceptions);
+  EXPECT_EQ(R.Engine.CacheEntries, Engine.Stats.CacheEntries);
+  EXPECT_EQ(R.RuleCoveredInstrs, Xlat.RuleCoveredInstrs);
+  EXPECT_EQ(R.FallbackInstrs, Xlat.FallbackInstrs);
+
+  // Presentation metadata rides along for JSON emission and tables.
+  EXPECT_EQ(R.Spec, "rule:scheduling/libquantum");
+  EXPECT_EQ(R.Label, "+scheduling");
+  EXPECT_EQ(R.MetricKey, "full_opt");
+}
+
+TEST(Vm, NativeExecutorMatchesInterpreter) {
+  sys::Platform Board(guestsw::KernelLayout::MinRam);
+  ASSERT_TRUE(guestsw::setupGuest(Board, "cpu-prime", 1));
+  const sys::SystemRunResult Ref =
+      sys::runSystemInterpreter(Board, 400u * 1000 * 1000);
+  ASSERT_TRUE(Ref.Shutdown);
+
+  vm::Vm V(vm::VmConfig::fromSpec("native/cpu-prime"));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Console, Board.uart().output());
+  EXPECT_EQ(R.guestInstrs(), Ref.InstrsRetired);
+  EXPECT_EQ(R.wall(), Ref.InstrsRetired) << "native is 1 cycle/instr";
+  EXPECT_TRUE(V.engine() == nullptr) << "native must not build an engine";
+}
+
+//===----------------------------------------------------------------------===//
+// Stop reasons no other suite hits
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, WallLimitStopsTheRunAndResumeContinues) {
+  vm::Vm V(vm::VmConfig()
+               .workload("mcf")
+               .translator("qemu")
+               .wallBudget(1000));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+  EXPECT_EQ(R.Stop, dbt::StopReason::WallLimit);
+  EXPECT_FALSE(R.Ok);
+  // Resuming the SAME session with a fresh budget runs to a clean
+  // shutdown, and counters accumulate across the two calls.
+  const vm::RunReport R2 = V.run(400ull * 1000 * 1000 * 1000);
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_GT(R2.wall(), R.wall());
+  EXPECT_GT(R2.guestInstrs(), R.guestInstrs());
+}
+
+TEST(Vm, NativeResumeAccumulatesCounters) {
+  vm::Vm V(vm::VmConfig()
+               .workload("cpu-prime")
+               .translator("native")
+               .wallBudget(1000));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+  EXPECT_EQ(R.Stop, dbt::StopReason::WallLimit);
+  const vm::RunReport R2 = V.run(400u * 1000 * 1000);
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_GT(R2.guestInstrs(), R.guestInstrs())
+      << "resumed native counters must be cumulative, not per-stint";
+}
+
+TEST(Vm, RunawayGuardStopsTheRun) {
+  vm::Vm V(vm::VmConfig()
+               .workload("mcf")
+               .translator("rule:scheduling")
+               .runawayGuard(10));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport R = V.run();
+  EXPECT_EQ(R.Stop, dbt::StopReason::Runaway);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(StopReason, NamesAreDistinct) {
+  EXPECT_EQ(std::string(dbt::toString(dbt::StopReason::GuestShutdown)),
+            "guest shutdown");
+  EXPECT_EQ(std::string(dbt::toString(dbt::StopReason::WallLimit)),
+            "wall limit");
+  EXPECT_EQ(std::string(dbt::toString(dbt::StopReason::Deadlock)),
+            "deadlock");
+  EXPECT_EQ(std::string(dbt::toString(dbt::StopReason::Runaway)),
+            "runaway");
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+//===- tools/rdbt_scenarios.cpp - Registry-wide scenario smoke --------------===//
+//
+// Part of RuleDBT. Runs one workload under every translator kind the
+// registry knows, prints a one-line report per scenario, and checks the
+// invariant the whole evaluation rests on: every executor produces the
+// same guest console output and stops with a clean guest shutdown.
+//
+// Usage: rdbt_scenarios [workload] [scale]     (default: libquantum 1)
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rdbt;
+
+int main(int argc, char **argv) {
+  const char *Workload = argc > 1 ? argv[1] : "libquantum";
+  const uint32_t Scale =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 1;
+
+  std::printf("scenario smoke: '%s' @ scale %u under every registered "
+              "translator kind\n\n", Workload, Scale);
+  std::printf("%-28s %-14s %12s %14s %10s\n", "spec", "stop", "guest",
+              "host cycles", "host/guest");
+
+  std::string RefConsole;
+  bool HaveRef = false;
+  int Failures = 0;
+  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const std::string Spec =
+        Kind + "/" + Workload + "@" + std::to_string(Scale);
+    std::string Err;
+    vm::Vm V(vm::VmConfig::fromSpec(Spec, &Err));
+    if (!V.valid()) {
+      std::fprintf(stderr, "%s: %s\n", Spec.c_str(),
+                   Err.empty() ? V.error().c_str() : Err.c_str());
+      return 1;
+    }
+    const vm::RunReport R = V.run();
+    std::printf("%-28s %-14s %12llu %14llu %10.2f\n", R.Spec.c_str(),
+                R.stopName(),
+                static_cast<unsigned long long>(R.guestInstrs()),
+                static_cast<unsigned long long>(R.wall()),
+                R.hostPerGuest());
+    if (!R.Ok) {
+      std::fprintf(stderr, "FAIL: %s stopped with '%s'\n", R.Spec.c_str(),
+                   R.stopName());
+      ++Failures;
+      continue;
+    }
+    if (!HaveRef) {
+      RefConsole = R.Console;
+      HaveRef = true;
+    } else if (R.Console != RefConsole) {
+      std::fprintf(stderr, "FAIL: %s console diverged from the first "
+                           "executor\n", R.Spec.c_str());
+      ++Failures;
+    }
+  }
+
+  if (Failures) {
+    std::fprintf(stderr, "\n%d scenario(s) failed\n", Failures);
+    return 1;
+  }
+  std::printf("\nall scenarios clean; consoles identical\n");
+  return 0;
+}
