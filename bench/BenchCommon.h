@@ -83,6 +83,16 @@ struct RunStats {
   uint64_t SyncInstrs = 0; ///< CostClass::Sync host instructions
   uint64_t SyncOps = 0;
   uint64_t HostInstrs = 0; ///< all executed host instructions + helper cost
+  // Translation-cache behavior (zero for the native executor).
+  uint64_t CacheFlushes = 0;
+  uint64_t TbsInvalidated = 0;
+  uint64_t TbsRetained = 0;
+  uint64_t LiveTbs = 0;
+  uint64_t Retranslations = 0;
+  uint64_t RetranslatedGuestInstrs = 0;
+  // Rule-set pattern matcher statistics (zero for non-rule kinds).
+  uint64_t RuleMatchAttempts = 0;
+  uint64_t RuleMatchHits = 0;
   bool Ok = false;
 
   double hostPerGuest() const {
@@ -120,6 +130,14 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   // The native baseline reports no host-side cost (1 guest instruction =
   // 1 native cycle, already in Wall).
   S.HostInstrs = EngineRun ? R.wall() : 0;
+  S.CacheFlushes = R.Cache.Flushes;
+  S.TbsInvalidated = R.Cache.TbsInvalidated;
+  S.TbsRetained = R.Cache.TbsRetained;
+  S.LiveTbs = R.Cache.LiveTbs;
+  S.Retranslations = R.Cache.Retranslations;
+  S.RetranslatedGuestInstrs = R.Cache.RetranslatedGuestInstrs;
+  S.RuleMatchAttempts = R.RuleMatchAttempts;
+  S.RuleMatchHits = R.RuleMatchHits;
   return S;
 }
 
@@ -216,7 +234,16 @@ inline void writeBenchJson(const char *BenchName) {
        << ", \"irq_checks\": " << Run.S.IrqChecks
        << ", \"sync_instrs\": " << Run.S.SyncInstrs
        << ", \"sync_ops\": " << Run.S.SyncOps
-       << ", \"host_instrs\": " << Run.S.HostInstrs << "}";
+       << ", \"host_instrs\": " << Run.S.HostInstrs
+       << ", \"cache_flushes\": " << Run.S.CacheFlushes
+       << ", \"tbs_invalidated\": " << Run.S.TbsInvalidated
+       << ", \"tbs_retained\": " << Run.S.TbsRetained
+       << ", \"live_tbs\": " << Run.S.LiveTbs
+       << ", \"retranslations\": " << Run.S.Retranslations
+       << ", \"retranslated_guest_instrs\": "
+       << Run.S.RetranslatedGuestInstrs
+       << ", \"rule_match_attempts\": " << Run.S.RuleMatchAttempts
+       << ", \"rule_match_hits\": " << Run.S.RuleMatchHits << "}";
   }
   OS << "\n  ],\n  \"metrics\": [";
   for (size_t I = 0; I < R.Metrics.size(); ++I) {

@@ -258,7 +258,7 @@ void AsmBuilder::ldm(uint8_t Rn, uint16_t List, BlockMode M, bool Writeback,
 }
 
 void AsmBuilder::stm(uint8_t Rn, uint16_t List, BlockMode M, bool Writeback,
-                     Cond C) {
+                     Cond C, bool UserBank) {
   Inst I;
   I.Op = Opcode::STM;
   I.C = C;
@@ -266,6 +266,7 @@ void AsmBuilder::stm(uint8_t Rn, uint16_t List, BlockMode M, bool Writeback,
   I.RegList = List;
   I.BMode = M;
   I.Writeback = Writeback;
+  I.UserBank = UserBank;
   emit(I);
 }
 

@@ -120,7 +120,7 @@ public:
   void ldm(uint8_t Rn, uint16_t List, BlockMode M = BlockMode::IA,
            bool Writeback = true, Cond C = Cond::AL, bool UserBank = false);
   void stm(uint8_t Rn, uint16_t List, BlockMode M = BlockMode::IA,
-           bool Writeback = true, Cond C = Cond::AL);
+           bool Writeback = true, Cond C = Cond::AL, bool UserBank = false);
   /// push/pop = stmdb sp!/ldmia sp! with the given register mask.
   void push(uint16_t List, Cond C = Cond::AL);
   void pop(uint16_t List, Cond C = Cond::AL);

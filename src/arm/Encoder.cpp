@@ -61,6 +61,20 @@ bool arm::cp15Selector(Cp15Reg Reg, uint8_t &Opc1, uint8_t &Crn,
     Crn = 8;
     Crm = 7;
     return true;
+  case Cp15Reg::CONTEXTIDR:
+    Crn = 13;
+    Opc2 = 1;
+    return true;
+  case Cp15Reg::TLBIMVA:
+    Crn = 8;
+    Crm = 7;
+    Opc2 = 1;
+    return true;
+  case Cp15Reg::TLBIASID:
+    Crn = 8;
+    Crm = 7;
+    Opc2 = 2;
+    return true;
   case Cp15Reg::Unknown:
     return false;
   }
@@ -87,6 +101,12 @@ Cp15Reg arm::cp15FromSelector(uint8_t Opc1, uint8_t Crn, uint8_t Crm,
     return Cp15Reg::VBAR;
   if (Crn == 8 && Crm == 7 && Opc2 == 0)
     return Cp15Reg::TLBIALL;
+  if (Crn == 13 && Crm == 0 && Opc2 == 1)
+    return Cp15Reg::CONTEXTIDR;
+  if (Crn == 8 && Crm == 7 && Opc2 == 1)
+    return Cp15Reg::TLBIMVA;
+  if (Crn == 8 && Crm == 7 && Opc2 == 2)
+    return Cp15Reg::TLBIASID;
   return Cp15Reg::Unknown;
 }
 

@@ -160,6 +160,9 @@ enum class Cp15Reg : uint8_t {
   DFAR,    ///< c6, 0, c0: data fault address
   VBAR,    ///< c12, 0, c0: vector base address
   TLBIALL, ///< c8, 0, c7: TLB invalidate all (write-only)
+  CONTEXTIDR, ///< c13, 0, c0, 1: context ID (ASID in bits [7:0])
+  TLBIMVA,    ///< c8, 0, c7, 1: TLB invalidate by MVA (write-only)
+  TLBIASID,   ///< c8, 0, c7, 2: TLB invalidate by ASID (write-only)
   Unknown,
 };
 
@@ -258,7 +261,9 @@ struct Inst {
       // pc, lr, #4) and LDM with the user-bank/CPSR-restore S bit.
       if (isDataProcessing() && SetFlags && !isCompare() && Rd == RegPC)
         return true;
-      if (Op == Opcode::LDM && UserBank)
+      // User-bank block transfers touch the banked sp/lr of another mode;
+      // both translators punt them to the emulate helper.
+      if ((Op == Opcode::LDM || Op == Opcode::STM) && UserBank)
         return true;
       return false;
     }

@@ -6,56 +6,162 @@
 
 #include "dbt/CodeCache.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace rdbt;
 using namespace rdbt::dbt;
 
-int CodeCache::find(uint32_t Pc, uint32_t MmuIdx) const {
-  const auto It = Index.find(key(Pc, MmuIdx));
+int CodeCache::find(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) const {
+  const auto It = Index.find(key(Pc, MmuIdx, Asid));
   return It == Index.end() ? -1 : It->second;
 }
 
-int CodeCache::insert(host::HostBlock Block, uint32_t MmuIdx) {
-  const int Id = static_cast<int>(Blocks.size());
-  const uint32_t Pc = Block.GuestPc;
-  Blocks.push_back(std::make_unique<host::HostBlock>(std::move(Block)));
-  Index[key(Pc, MmuIdx)] = Id;
+int CodeCache::insert(host::HostBlock Block, uint32_t MmuIdx,
+                      uint32_t Asid) {
+  const int Id = BaseId + static_cast<int>(Entries.size());
+  const uint64_t K = key(Block.GuestPc, MmuIdx, Asid & 0xFFu);
+  assert(Index.find(K) == Index.end() && "key already translated");
+
+  Entry E;
+  E.Key = K;
+  E.Asid = Asid & 0xFFu;
+  E.FirstPage = Block.GuestPc >> 12;
+  // A block's code may straddle into the next page; index every page it
+  // covers so invalidatePage() finds it from either side.
+  const uint32_t LastByte =
+      Block.GuestPc + (Block.NumGuestInstrs ? Block.NumGuestInstrs * 4 - 1
+                                            : 0);
+  E.LastPage = LastByte >> 12;
+
+  if (!SeenKeys.insert(K).second) {
+    ++Stats.Retranslations;
+    Stats.RetranslatedGuestInstrs += Block.NumGuestInstrs;
+  }
+
+  E.Block = std::make_unique<host::HostBlock>(std::move(Block));
+  for (uint32_t P = E.FirstPage; P <= E.LastPage; ++P)
+    PageIndex[P].push_back(Id);
+  AsidIndex[E.Asid].push_back(Id);
+  Index[K] = Id;
+  Entries.push_back(std::move(E));
+  ++LiveBlocks;
   return Id;
 }
 
-void CodeCache::flush() {
-  Blocks.clear();
-  Index.clear();
-  ++Flushes;
-}
+void CodeCache::invalidateOne(int TbId) {
+  Entry *E = entry(TbId);
+  assert(E && E->Block && "invalidating a dead id");
 
-void CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
-  host::HostBlock *From = mutableBlock(FromTb);
-  assert(From && Slot >= 0 && Slot < 2 && "bad chain request");
-  host::HostBlock::Chain &Ch = From->Chains[Slot];
-  assert(Ch.TargetTb < 0 && "chain slot already patched");
-  Ch.TargetTb = ToTb;
-  ++ChainsMade;
-  if (!ElideFlagSave || Ch.FlagSaveBegin < 0)
-    return;
-  ++ChainsWithElision;
-  for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I) {
-    if (!From->Code[I].Dead) {
-      From->Code[I].Dead = true;
-      ++ElidedSyncInstrs;
+  // Unlink every incoming chain that still targets this block, restoring
+  // the flag-save code the chain-time elision killed: the predecessor's
+  // exit now re-enters the emulator, which needs the flags in env.
+  for (const auto &[FromId, Slot] : E->Incoming) {
+    Entry *F = entry(FromId);
+    if (!F || !F->Block)
+      continue; // predecessor died first; edge is stale
+    host::HostBlock::Chain &Ch = F->Block->Chains[Slot];
+    if (Ch.TargetTb != TbId)
+      continue; // slot was re-pointed after a previous unlink
+    Ch.TargetTb = -1;
+    ++Stats.ChainsUnlinked;
+    if (Ch.FlagSaveBegin >= 0) {
+      bool Revived = false;
+      for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I)
+        if (F->Block->Code[I].Dead) {
+          F->Block->Code[I].Dead = false;
+          Revived = true;
+        }
+      if (Revived)
+        ++Stats.ElisionsReverted;
     }
   }
+  E->Incoming.clear();
+
+  Index.erase(E->Key);
+  E->Block.reset();
+  --LiveBlocks;
+  ++Stats.TbsInvalidated;
+}
+
+void CodeCache::flush() {
+  Stats.TbsInvalidated += LiveBlocks;
+  BaseId += static_cast<int>(Entries.size());
+  Entries.clear();
+  Index.clear();
+  PageIndex.clear();
+  AsidIndex.clear();
+  LiveBlocks = 0;
+  ++Stats.Flushes;
+}
+
+void CodeCache::invalidateAsid(uint32_t Asid) {
+  ++Stats.AsidInvalidations;
+  const auto It = AsidIndex.find(Asid & 0xFFu);
+  if (It != AsidIndex.end()) {
+    for (const int Id : It->second) {
+      const Entry *E = entry(Id);
+      if (E && E->Block)
+        invalidateOne(Id);
+    }
+    AsidIndex.erase(It);
+  }
+  Stats.TbsRetained += LiveBlocks;
+}
+
+void CodeCache::invalidatePage(uint32_t PageVa) {
+  ++Stats.PageInvalidations;
+  const uint32_t Page = PageVa >> 12;
+  const auto It = PageIndex.find(Page);
+  if (It != PageIndex.end()) {
+    for (const int Id : It->second) {
+      const Entry *E = entry(Id);
+      if (E && E->Block)
+        invalidateOne(Id);
+    }
+    PageIndex.erase(It);
+    // Blocks straddling out of this page keep stale ids in the
+    // neighbouring pages' lists; prune them lazily when those lists are
+    // next walked (the dead-entry check above).
+  }
+  Stats.TbsRetained += LiveBlocks;
+}
+
+bool CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
+  assert(Slot >= 0 && Slot < 2 && "bad chain slot");
+  Entry *From = entry(FromTb);
+  Entry *To = entry(ToTb);
+  // Either id may have gone stale between the exit that requested the
+  // chain and this patch (a translation-triggered or partial
+  // invalidation); refuse rather than patch through a dead id.
+  if (!From || !From->Block || !To || !To->Block ||
+      From->Block->Chains[Slot].TargetTb >= 0) {
+    ++Stats.StaleChainRequests;
+    return false;
+  }
+
+  host::HostBlock::Chain &Ch = From->Block->Chains[Slot];
+  Ch.TargetTb = ToTb;
+  To->Incoming.emplace_back(FromTb, Slot);
+  ++Stats.ChainsMade;
+  if (!ElideFlagSave || Ch.FlagSaveBegin < 0)
+    return true;
+  ++Stats.ChainsWithElision;
+  for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I) {
+    if (!From->Block->Code[I].Dead) {
+      From->Block->Code[I].Dead = true;
+      ++Stats.ElidedSyncInstrs;
+    }
+  }
+  return true;
 }
 
 const host::HostBlock *CodeCache::block(int TbId) const {
-  if (TbId < 0 || static_cast<size_t>(TbId) >= Blocks.size())
-    return nullptr;
-  return Blocks[TbId].get();
+  const Entry *E = entry(TbId);
+  return E ? E->Block.get() : nullptr;
 }
 
 host::HostBlock *CodeCache::mutableBlock(int TbId) {
-  if (TbId < 0 || static_cast<size_t>(TbId) >= Blocks.size())
-    return nullptr;
-  return Blocks[TbId].get();
+  Entry *E = entry(TbId);
+  return E ? E->Block.get() : nullptr;
 }

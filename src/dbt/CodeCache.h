@@ -5,9 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The translated-code cache: host blocks indexed by (guest PC, MMU
-/// index), with block chaining and chain-time patching (including the
+/// The translated-code cache: host blocks keyed by (guest PC, MMU index,
+/// ASID), with block chaining and chain-time patching (including the
 /// inter-TB flag-save elision of §III-C).
+///
+/// Three structural properties carry the ASID-aware invalidation design
+/// (see DESIGN.md §7):
+///
+///  * **Selective invalidation.** Besides the full flush, blocks can be
+///    dropped per ASID (invalidateAsid) or per guest page
+///    (invalidatePage), driven by the structured requests the interpreter
+///    raises for SCTLR toggles and TLB-maintenance ops. A per-page and a
+///    per-ASID index make both operations proportional to the number of
+///    affected blocks, not the cache size.
+///
+///  * **Chain unlinking.** Every chain edge is recorded in the target's
+///    reverse-edge list. Invalidating a block resets each incoming chain
+///    slot to the unresolved state and resurrects any flag-save code the
+///    chain-time elision had marked dead, so surviving predecessors fall
+///    back to the translate-and-patch path instead of jumping into freed
+///    code.
+///
+///  * **Stable, never-reused TB ids.** Ids are monotonically increasing
+///    across the cache's whole lifetime (a full flush retires the id range
+///    instead of restarting it), so a stale id held by the engine across
+///    an invalidation can never alias a newer block: block() simply
+///    returns nullptr and chain() refuses to patch.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,44 +41,122 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace rdbt {
 namespace dbt {
 
+/// Counter snapshot of the cache's lifetime behavior (surfaced through
+/// vm::RunReport and the bench JSON).
+struct CacheStats {
+  uint64_t Flushes = 0;            ///< full flushes
+  uint64_t AsidInvalidations = 0;  ///< invalidateAsid() calls
+  uint64_t PageInvalidations = 0;  ///< invalidatePage() calls
+  uint64_t TbsInvalidated = 0;     ///< blocks dropped (all scopes)
+  uint64_t TbsRetained = 0;        ///< blocks surviving selective drops
+  uint64_t Retranslations = 0;     ///< inserts whose key was cached before
+  uint64_t RetranslatedGuestInstrs = 0; ///< guest instrs behind those
+  uint64_t ChainsMade = 0;
+  uint64_t ChainsWithElision = 0;
+  uint64_t ChainsUnlinked = 0;      ///< chain slots reset by invalidation
+  uint64_t ElisionsReverted = 0;    ///< elided flag-saves resurrected
+  uint64_t StaleChainRequests = 0;  ///< chain() calls refused (stale ids)
+  uint64_t ElidedSyncInstrs = 0;    ///< §III-C: sync instrs marked dead
+  /// Live blocks at report time — a snapshot, not a counter; filled by
+  /// the report producer (vm::Vm) from CodeCache::size(). The direct
+  /// retention signal: under the blanket policy it collapses to the last
+  /// timeslice's working set, under selective invalidation it holds the
+  /// union of every ASID's code.
+  uint64_t LiveTbs = 0;
+};
+
 class CodeCache : public host::CodeSource {
 public:
-  /// Returns the TB id for (Pc, MmuIdx) or -1.
-  int find(uint32_t Pc, uint32_t MmuIdx) const;
+  /// Returns the TB id for (Pc, MmuIdx, Asid) or -1.
+  int find(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) const;
 
-  /// Inserts a freshly translated block, returns its TB id.
-  int insert(host::HostBlock Block, uint32_t MmuIdx);
+  /// Inserts a freshly translated block, returns its TB id. Ids are never
+  /// reused, even across flushes.
+  int insert(host::HostBlock Block, uint32_t MmuIdx, uint32_t Asid);
 
-  /// Drops every translation (TTBR/SCTLR writes).
+  /// Drops every translation (MMU regime changes, TLBIALL).
   void flush();
+
+  /// Drops every translation belonging to \p Asid (TLBIASID), unlinking
+  /// incoming chains from surviving blocks.
+  void invalidateAsid(uint32_t Asid);
+
+  /// Drops every translation overlapping the page of \p PageVa, across
+  /// all ASIDs (TLBIMVA).
+  void invalidatePage(uint32_t PageVa);
 
   /// Chains \p FromTb's \p Slot to \p ToTb. If \p ElideFlagSave, the
   /// flag-save region belonging to that exit is marked dead (inter-TB
   /// optimization); the elided instructions are tallied in
-  /// \ref ElidedSyncInstrs.
-  void chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave);
+  /// Stats.ElidedSyncInstrs. Returns false — counting a stale-chain
+  /// request — when either id no longer names a live block or the slot
+  /// is already patched, so callers holding ids across a partial
+  /// invalidation can never corrupt an unrelated block.
+  bool chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave);
 
   const host::HostBlock *block(int TbId) const override;
   host::HostBlock *mutableBlock(int TbId);
 
-  size_t size() const { return Blocks.size(); }
-  uint64_t Flushes = 0;
-  uint64_t ElidedSyncInstrs = 0;
-  uint64_t ChainsMade = 0;
-  uint64_t ChainsWithElision = 0;
+  /// Number of live (translated, not invalidated) blocks.
+  size_t size() const { return LiveBlocks; }
+
+  CacheStats Stats;
 
 private:
-  std::vector<std::unique_ptr<host::HostBlock>> Blocks;
-  std::unordered_map<uint64_t, int> Index;
+  /// One slot in the id space. Block is null once invalidated; the
+  /// metadata stays so reverse edges can be validated lazily.
+  struct Entry {
+    std::unique_ptr<host::HostBlock> Block;
+    uint64_t Key = 0;
+    uint32_t Asid = 0;
+    uint32_t FirstPage = 0; ///< guest page numbers covered (inclusive)
+    uint32_t LastPage = 0;
+    /// Reverse chain edges: (fromTbId, slot) pairs that patched a direct
+    /// jump to this block. Entries may be stale (the predecessor died or
+    /// re-chained); unlinking validates each one against the live chain.
+    std::vector<std::pair<int, int>> Incoming;
+  };
 
-  static uint64_t key(uint32_t Pc, uint32_t MmuIdx) {
-    return (static_cast<uint64_t>(MmuIdx) << 32) | Pc;
+  std::vector<Entry> Entries; ///< index = id - BaseId
+  int BaseId = 0;             ///< ids retired by full flushes
+  size_t LiveBlocks = 0;
+  std::unordered_map<uint64_t, int> Index;
+  /// Page number -> ids of live blocks overlapping that page (pruned
+  /// lazily on the next invalidation touching the page).
+  std::unordered_map<uint32_t, std::vector<int>> PageIndex;
+  /// ASID -> ids of live blocks translated under it.
+  std::unordered_map<uint32_t, std::vector<int>> AsidIndex;
+  /// Every key ever inserted, for retranslation accounting. Survives
+  /// flushes deliberately: translating a key again after any flavor of
+  /// invalidation is the retranslation cost the ASID design removes.
+  std::unordered_set<uint64_t> SeenKeys;
+
+  static uint64_t key(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) {
+    return static_cast<uint64_t>(Pc) |
+           (static_cast<uint64_t>(MmuIdx & 1u) << 32) |
+           (static_cast<uint64_t>(Asid & 0xFFu) << 33);
   }
+
+  Entry *entry(int TbId) {
+    if (TbId < BaseId)
+      return nullptr;
+    const size_t Idx = static_cast<size_t>(TbId - BaseId);
+    return Idx < Entries.size() ? &Entries[Idx] : nullptr;
+  }
+  const Entry *entry(int TbId) const {
+    return const_cast<CodeCache *>(this)->entry(TbId);
+  }
+
+  /// Unlinks incoming chains and frees the block. The caller maintains
+  /// the secondary indices.
+  void invalidateOne(int TbId);
 };
 
 } // namespace dbt

@@ -60,7 +60,28 @@ int DbtEngine::translateAt(uint32_t Pc) {
   assert(Block.GuestPc == Pc && "translator must fill GuestPc");
   ++Stats.Translations;
   Stats.TranslatedGuestInstrs += GB.Insts.size();
-  return Cache.insert(std::move(Block), GB.MmuIdx);
+  return Cache.insert(std::move(Block), GB.MmuIdx,
+                      sys::currentAsid(Board.Env));
+}
+
+void DbtEngine::drainInvalidationRequest() {
+  sys::CpuEnv &Env = Board.Env;
+  switch (Env.TbInvKind) {
+  case sys::TbInvNone:
+    return;
+  case sys::TbInvFull:
+    Cache.flush();
+    break;
+  case sys::TbInvAsid:
+    Cache.invalidateAsid(Env.TbInvAsid);
+    break;
+  case sys::TbInvPage:
+    Cache.invalidatePage(Env.TbInvPage);
+    break;
+  }
+  Env.TbInvKind = sys::TbInvNone;
+  Env.TbInvAsid = 0;
+  Env.TbInvPage = 0;
 }
 
 void DbtEngine::enterCodeCache() {
@@ -120,12 +141,9 @@ StopReason DbtEngine::run(uint64_t MaxWallCycles) {
       }
     }
 
-    if (Env.TbFlushRequest) {
-      Env.TbFlushRequest = 0;
-      Cache.flush();
-    }
+    drainInvalidationRequest();
 
-    int Tb = Cache.find(Env.Regs[15], Env.MmuIdx);
+    int Tb = Cache.find(Env.Regs[15], Env.MmuIdx, sys::currentAsid(Env));
     if (Tb < 0) {
       Tb = translateAt(Env.Regs[15]);
       if (Tb < 0)
@@ -148,19 +166,22 @@ StopReason DbtEngine::run(uint64_t MaxWallCycles) {
     case ExitReason::NeedTranslate: {
       // env.Regs[15] holds the chain target (stored by the exit glue).
       const uint32_t Target = Env.Regs[15];
-      int ToTb = Cache.find(Target, Env.MmuIdx);
+      int ToTb = Cache.find(Target, Env.MmuIdx, sys::currentAsid(Env));
       if (ToTb < 0)
         ToTb = translateAt(Target);
       if (ToTb < 0)
         break; // target faults: abort was delivered
-      // R.FromTb may have been flushed by a translation-triggered flush;
-      // re-check before patching.
+      // R.FromTb can go stale between the exit and this patch (e.g. a
+      // translation- or invalidation-triggered drop); chain() validates
+      // both ids against live blocks and refuses stale requests, so a
+      // recycled exit can never patch an unrelated block.
       const host::HostBlock *From = Cache.block(R.FromTb);
       const host::HostBlock *To = Cache.block(ToTb);
-      if (From && To &&
-          From->Chains[R.FromChainSlot].TargetTb < 0) {
+      if (From && To) {
         const bool Elide = Xlat.allowChainFlagElision(*From, *To);
         Cache.chain(R.FromTb, R.FromChainSlot, ToTb, Elide);
+      } else {
+        ++Cache.Stats.StaleChainRequests;
       }
       break;
     }
@@ -228,6 +249,12 @@ host::HelperHandler::Outcome DbtEngine::emulateHelper(uint32_t GuestPc) {
   // consumes flags forces the packed CCR to be exploded into QEMU's
   // per-flag slots. Metered here, at the only place it can happen.
   const bool WasPacked = Env.CcrPacked != 0;
+  // An address-space switch (TTBR/CONTEXTIDR write) must leave the code
+  // cache even when no invalidation is pending: the next lookup has to
+  // re-key under the new ASID instead of following chains resolved under
+  // the old one.
+  const uint32_t OldTtbr = Env.Ttbr0;
+  const uint32_t OldContextidr = Env.Contextidr;
 
   uint32_t Word = 0;
   sys::Fault F;
@@ -251,7 +278,8 @@ host::HelperHandler::Outcome DbtEngine::emulateHelper(uint32_t GuestPc) {
 
   switch (K) {
   case sys::StepKind::Ok:
-    if (Env.TbFlushRequest || Board.ShutdownRequested) {
+    if (Env.TbInvKind != sys::TbInvNone || OldTtbr != Env.Ttbr0 ||
+        OldContextidr != Env.Contextidr || Board.ShutdownRequested) {
       Out.Exit = true;
       Out.Reason = Board.ShutdownRequested ? ExitReason::Shutdown
                                            : ExitReason::Lookup;

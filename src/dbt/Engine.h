@@ -106,9 +106,14 @@ private:
   RamPort Port;
   host::HostMachine Machine;
 
-  /// Translates the block at (Pc, current MmuIdx); returns its TB id or
-  /// -1 if the initial fetch faulted (a prefetch abort was delivered).
+  /// Translates the block at (Pc, current MmuIdx, current ASID); returns
+  /// its TB id or -1 if the initial fetch faulted (a prefetch abort was
+  /// delivered).
   int translateAt(uint32_t Pc);
+
+  /// Applies the env's pending structured invalidation request (full /
+  /// by-ASID / by-page) to the code cache and clears it.
+  void drainInvalidationRequest();
 
   /// Copies env state into the pinned host registers and charges the
   /// translator's entry stub.

@@ -29,9 +29,12 @@ uint32_t sectionEntry(uint32_t Pa, uint32_t Ap) {
 
 } // namespace
 
-std::vector<uint32_t> guestsw::buildKernelImage() {
+std::vector<uint32_t> guestsw::buildKernelImage(const KernelConfig &Config) {
   AsmBuilder K(0);
   using L = KernelLayout;
+  const uint32_t NumProcs = Config.NumProcs ? Config.NumProcs : 1;
+  const bool Multi = NumProcs > 1;
+  assert(NumProcs <= L::MaxProcs && "too many processes for the layout");
 
   // --- Vector table (VBAR = 0) -------------------------------------------
   Label Boot = K.newLabel(), Undef = K.newLabel(), Svc = K.newLabel();
@@ -57,20 +60,24 @@ std::vector<uint32_t> guestsw::buildKernelImage() {
   K.movImm32(R0, 0xD3); // back to SVC
   K.msr(R0, false, 0x1);
 
-  // Zero the L1 table (4096 words) and the heap L2 table (256 words).
-  K.movImm32(R0, L::L1Table);
-  K.movImm32(R1, L::L1Table + 0x4000);
+  // Zero the page tables: classic kernel zeroes its L1 plus the heap L2;
+  // the multi-process kernel zeroes the whole per-process L1 table bank.
+  K.movImm32(R0, Multi ? L::ProcL1Base : L::L1Table);
+  K.movImm32(R1, Multi ? L::ProcL1Base + NumProcs * 0x4000
+                       : L::L1Table + 0x4000);
   K.movi(R2, 0);
   Label ZeroL1 = K.hereLabel();
   K.ldrstr(Opcode::STR, R2, R0, 4, Cond::AL, false, /*PostIndex=*/true);
   K.cmp(R0, Operand2::reg(R1));
   K.b(ZeroL1, Cond::NE);
-  K.movImm32(R0, L::L2Table);
-  K.movImm32(R1, L::L2Table + 0x400);
-  Label ZeroL2 = K.hereLabel();
-  K.ldrstr(Opcode::STR, R2, R0, 4, Cond::AL, false, true);
-  K.cmp(R0, Operand2::reg(R1));
-  K.b(ZeroL2, Cond::NE);
+  if (!Multi) {
+    K.movImm32(R0, L::L2Table);
+    K.movImm32(R1, L::L2Table + 0x400);
+    Label ZeroL2 = K.hereLabel();
+    K.ldrstr(Opcode::STR, R2, R0, 4, Cond::AL, false, true);
+    K.cmp(R0, Operand2::reg(R1));
+    K.b(ZeroL2, Cond::NE);
+  }
 
   // Kernel variables.
   K.movImm32(R0, L::VarTicks);
@@ -78,28 +85,62 @@ std::vector<uint32_t> guestsw::buildKernelImage() {
   K.str(R2, R0, L::VarDiskDone - L::VarTicks); // disk-done = 0
   K.movImm32(R1, L::HeapPhysPool);
   K.str(R1, R0, L::VarHeapNext - L::VarTicks); // heap bump = pool base
+  if (Multi) {
+    K.str(R2, R0, L::VarCurProc - L::VarTicks); // curproc = 0
 
-  // Page tables:
+    // Per-process save areas: processes 1..N-1 start fresh in user mode
+    // at the user entry point (RAM is zero-initialized, so r4-r11 and
+    // lr start as 0).
+    for (uint32_t P = 1; P < NumProcs; ++P) {
+      const uint32_t Base = L::SaveArea + P * L::SaveBytesPerProc;
+      K.movImm32(R0, Base);
+      K.movImm32(R1, L::UserStackTop);
+      K.str(R1, R0, L::SaveSpUsr);
+      K.movImm32(R1, L::UserVirt);
+      K.str(R1, R0, L::SavePc);
+      K.movi(R1, 0x10); // user mode, IRQs enabled
+      K.str(R1, R0, L::SaveSpsr);
+    }
+  }
+
+  // Page tables. Classic:
   //   L1[0]      kernel section, identity, priv RW
   //   L1[0xF00]  device section, identity, priv RW
   //   L1[4]      user section VA 0x400000 -> PA 0x100000, user RW
   //   L1[6]      heap page table -> L2Table
-  K.movImm32(R0, L::L1Table);
-  K.movImm32(R1, sectionEntry(0, ApPrivRw));
-  K.str(R1, R0, 0);
-  K.movImm32(R1, sectionEntry(0xF0000000u, ApPrivRw));
-  K.movImm32(R2, 0xF00 * 4);
-  K.ldrstrReg(Opcode::STR, R1, R0, Operand2::reg(R2));
-  K.movImm32(R1, sectionEntry(L::UserPhys, ApUserRw));
-  K.str(R1, R0, 4 * 4);
-  K.movImm32(R1, L::L2Table | 1u);
-  K.str(R1, R0, 6 * 4);
+  // Multi-process: one L1 table per process with the same kernel/device
+  // sections but a per-process physical window behind the user section
+  // (and no demand-paged heap).
+  const uint32_t Tables = Multi ? NumProcs : 1;
+  for (uint32_t P = 0; P < Tables; ++P) {
+    const uint32_t Table = Multi ? L::ProcL1Base + P * 0x4000 : L::L1Table;
+    const uint32_t UserWindow =
+        Multi ? L::ProcUserPhysBase + P * L::ProcUserPhysStride
+              : L::UserPhys;
+    K.movImm32(R0, Table);
+    K.movImm32(R1, sectionEntry(0, ApPrivRw));
+    K.str(R1, R0, 0);
+    K.movImm32(R1, sectionEntry(0xF0000000u, ApPrivRw));
+    K.movImm32(R2, 0xF00 * 4);
+    K.ldrstrReg(Opcode::STR, R1, R0, Operand2::reg(R2));
+    K.movImm32(R1, sectionEntry(UserWindow, ApUserRw));
+    K.str(R1, R0, 4 * 4);
+    if (!Multi) {
+      K.movImm32(R1, L::L2Table | 1u);
+      K.str(R1, R0, 6 * 4);
+    }
+  }
 
-  // Domain register (walker stores it; realism only), TTBR0, MMU on.
+  // Domain register (walker stores it; realism only), TTBR0 (+ ASID 0
+  // for the multi-process kernel), MMU on.
   K.movi(R1, 1);
   K.mcr(Cp15Reg::DACR, R1);
-  K.movImm32(R1, L::L1Table);
+  K.movImm32(R1, Multi ? L::ProcL1Base : L::L1Table);
   K.mcr(Cp15Reg::TTBR0, R1);
+  if (Multi) {
+    K.movi(R1, 0);
+    K.mcr(Cp15Reg::CONTEXTIDR, R1);
+  }
   K.mrc(Cp15Reg::SCTLR, R1);
   K.alu(Opcode::ORR, R1, R1, Operand2::imm(1));
   K.mcr(Cp15Reg::SCTLR, R1); // identity mapping keeps PC valid
@@ -142,7 +183,12 @@ std::vector<uint32_t> guestsw::buildKernelImage() {
   K.b(SvcDisk, Cond::EQ);
   K.cmp(R7, Operand2::imm(SysDiskWrite));
   K.b(SvcDisk, Cond::EQ);
-  K.b(SvcRet); // SysYield and unknown numbers: no-op
+  Label SvcYield = K.newLabel();
+  if (Multi) {
+    K.cmp(R7, Operand2::imm(SysYield));
+    K.b(SvcYield, Cond::EQ);
+  }
+  K.b(SvcRet); // SysYield (classic) and unknown numbers: no-op
 
   K.bind(SvcPutc);
   K.movImm32(R12, sys::MmioUart);
@@ -182,6 +228,53 @@ std::vector<uint32_t> guestsw::buildKernelImage() {
   K.pop((1u << R4) | (1u << R5));
   K.bind(SvcRet);
   K.movsPcLr();
+
+  // --- SysYield: cooperative round-robin context switch --------------------
+  // Convention: r0-r3/r7/r12 are syscall scratch, so only the callee-kept
+  // user state needs banking: r4-r11, the user-mode sp/lr (via user-bank
+  // ldm/stm), the return PC (lr_svc) and the user CPSR (spsr_svc). IRQs
+  // stay masked for the whole switch (SVC entry masks them).
+  if (Multi) {
+    const uint16_t CalleeRegs = 0x0FF0; // r4-r11
+    K.bind(SvcYield);
+    K.movImm32(R12, L::VarCurProc);
+    K.ldr(R0, R12, 0); // r0 = current pid
+    K.movImm32(R1, L::SaveArea);
+    K.add(R1, R1, Operand2::shiftedReg(R0, ShiftKind::LSL, 6));
+    K.stm(R1, CalleeRegs, BlockMode::IA, /*Writeback=*/false);
+    K.add(R2, R1, Operand2::imm(L::SaveSpUsr));
+    K.stm(R2, (1u << 13) | (1u << 14), BlockMode::IA, /*Writeback=*/false,
+          Cond::AL, /*UserBank=*/true);
+    K.str(RegLR, R1, L::SavePc);
+    K.mrs(R3, /*Spsr=*/true);
+    K.str(R3, R1, L::SaveSpsr);
+
+    // next = (cur + 1) % NumProcs
+    K.add(R0, R0, Operand2::imm(1));
+    K.cmp(R0, Operand2::imm(NumProcs));
+    K.movi(R0, 0, Cond::CS);
+    K.str(R0, R12, 0);
+
+    // Switch the address space: the next process's L1 table, then its
+    // ASID. With the ASID-aware cache neither write discards
+    // translations — the whole point of this kernel.
+    K.movImm32(R1, L::ProcL1Base);
+    K.add(R1, R1, Operand2::shiftedReg(R0, ShiftKind::LSL, 14));
+    K.mcr(Cp15Reg::TTBR0, R1);
+    K.mcr(Cp15Reg::CONTEXTIDR, R0);
+
+    // Unbank the next process and return into it.
+    K.movImm32(R1, L::SaveArea);
+    K.add(R1, R1, Operand2::shiftedReg(R0, ShiftKind::LSL, 6));
+    K.ldm(R1, CalleeRegs, BlockMode::IA, /*Writeback=*/false);
+    K.add(R2, R1, Operand2::imm(L::SaveSpUsr));
+    K.ldm(R2, (1u << 13) | (1u << 14), BlockMode::IA, /*Writeback=*/false,
+          Cond::AL, /*UserBank=*/true);
+    K.ldr(RegLR, R1, L::SavePc);
+    K.ldr(R3, R1, L::SaveSpsr);
+    K.msr(R3, /*Spsr=*/true, /*Mask=*/0x9);
+    K.movsPcLr();
+  }
 
   // --- IRQ handler ---------------------------------------------------------
   K.bind(Irq);
@@ -267,5 +360,33 @@ void guestsw::installGuest(sys::Platform &Board,
   assert(UserImage.size() * 4 < L::UserData - L::UserVirt &&
          "user image overlaps the data window");
   Board.Ram.loadWords(L::UserPhys, UserImage);
+  sys::resetEnv(Board.Env);
+}
+
+void guestsw::installGuestProcs(sys::Platform &Board,
+                                const std::vector<uint32_t> &UserImage,
+                                uint32_t NumProcs) {
+  using L = KernelLayout;
+  if (NumProcs <= 1) {
+    installGuest(Board, UserImage);
+    return;
+  }
+  assert(NumProcs <= L::MaxProcs && "too many processes for the layout");
+  assert(Board.Ram.size() >= requiredRam(NumProcs) &&
+         "RAM too small for the multi-process layout");
+  KernelConfig Config;
+  Config.NumProcs = NumProcs;
+  const std::vector<uint32_t> Kernel = buildKernelImage(Config);
+  assert(Kernel.size() * 4 < L::L2Table && "kernel image overlaps tables");
+  Board.Ram.loadWords(0, Kernel);
+  assert(UserImage.size() * 4 < L::UserData - L::UserVirt &&
+         "user image overlaps the data window");
+  for (uint32_t P = 0; P < NumProcs; ++P) {
+    const uint32_t Window = L::ProcUserPhysBase + P * L::ProcUserPhysStride;
+    Board.Ram.loadWords(Window, UserImage);
+    // The pid tag each process reads from the head of its private data
+    // window — same code, per-address-space-distinct result.
+    Board.Ram.write(Window + (L::UserData - L::UserVirt), 4, P);
+  }
   sys::resetEnv(Board.Env);
 }

@@ -25,6 +25,18 @@
 ///   0x00600000  user heap (virt), demand-paged 4 KiB pages
 ///   0xF00xxxxx  devices (priv only)
 ///
+/// The multi-process variant (KernelConfig::NumProcs > 1) runs N
+/// cooperatively scheduled processes, each with its own L1 page table,
+/// its own ASID (== pid, programmed through CONTEXTIDR), and a private
+/// physical window behind the same user virtual section. SysYield
+/// becomes a context switch: the SVC handler banks r4-r11/sp/lr/pc/spsr
+/// into the per-process save area, rotates to the next process, and
+/// switches TTBR0 + CONTEXTIDR. Additional physical layout:
+///
+///   0x00008100  per-process save areas (64 B each)
+///   0x00020000  per-process L1 tables (16 KiB each)
+///   0x00400000+ per-process user windows (1 MiB each, pid-indexed)
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDBT_GUESTSW_MINIKERNEL_H
@@ -58,6 +70,20 @@ struct KernelLayout {
   static constexpr uint32_t HeapMax = 0x00700000;
   /// Minimum RAM for this layout.
   static constexpr uint32_t MinRam = 0x00400000;
+
+  // Multi-process (NumProcs > 1) extensions.
+  static constexpr uint32_t VarCurProc = 0x800C; ///< running pid
+  static constexpr uint32_t SaveArea = 0x8100;   ///< per-proc reg banks
+  static constexpr uint32_t SaveBytesPerProc = 64;
+  /// Save-area layout: [0..28] r4-r11, then these byte offsets.
+  static constexpr uint32_t SaveSpUsr = 32;
+  static constexpr uint32_t SaveLrUsr = 36;
+  static constexpr uint32_t SavePc = 40;
+  static constexpr uint32_t SaveSpsr = 44;
+  static constexpr uint32_t ProcL1Base = 0x20000; ///< 16 KiB per process
+  static constexpr uint32_t ProcUserPhysBase = 0x00400000;
+  static constexpr uint32_t ProcUserPhysStride = 0x00100000;
+  static constexpr uint32_t MaxProcs = 6;
 };
 
 /// Syscall numbers (in r7; arguments r0-r2; result r0).
@@ -73,14 +99,38 @@ enum Syscall : uint32_t {
 /// Timer period in wall cycles (the guest programs it at boot).
 constexpr uint32_t TimerIntervalCycles = 400000;
 
+/// Build-time kernel parameters. The default config produces the classic
+/// single-process kernel, bit-for-bit.
+struct KernelConfig {
+  /// Number of cooperatively scheduled processes. 1 = classic kernel
+  /// (SysYield is a no-op); >1 turns SysYield into a round-robin context
+  /// switch across per-process address spaces and ASIDs.
+  uint32_t NumProcs = 1;
+};
+
 /// Assembles the kernel image (loaded at physical 0).
-std::vector<uint32_t> buildKernelImage();
+std::vector<uint32_t> buildKernelImage(const KernelConfig &Config = {});
+
+/// RAM needed to hold the layout for \p NumProcs processes.
+constexpr uint32_t requiredRam(uint32_t NumProcs) {
+  return NumProcs <= 1 ? KernelLayout::MinRam
+                       : KernelLayout::ProcUserPhysBase +
+                             NumProcs * KernelLayout::ProcUserPhysStride;
+}
 
 /// Loads the kernel plus a user program (an AsmBuilder::finish image based
 /// at KernelLayout::UserVirt) into \p Board and leaves the env at the
 /// reset vector, ready to run.
 void installGuest(sys::Platform &Board,
                   const std::vector<uint32_t> &UserImage);
+
+/// Multi-process install: loads the NumProcs-process kernel and places a
+/// copy of \p UserImage in every process's private physical window, with
+/// the process id stored at the start of each data window (so the same
+/// program computes a per-process-distinct result).
+void installGuestProcs(sys::Platform &Board,
+                       const std::vector<uint32_t> &UserImage,
+                       uint32_t NumProcs);
 
 } // namespace guestsw
 } // namespace rdbt

@@ -675,6 +675,42 @@ std::vector<uint32_t> emitCpuPrime(uint32_t Scale) {
   return P.finishProgram();
 }
 
+//===----------------------------------------------------------------------===//
+// System-level scenarios
+//===----------------------------------------------------------------------===//
+
+/// ctxswitch: CtxSwitchNumProcs processes, one per ASID, yielding to the
+/// round-robin scheduler after every slice of compute. The workload that
+/// measures what the ASID-aware translation cache buys: every SysYield
+/// switches TTBR0 + CONTEXTIDR, which under the blanket (pre-ASID) policy
+/// discarded every translation.
+std::vector<uint32_t> emitCtxswitch(uint32_t Scale) {
+  UserProg P;
+  auto &U = P.U;
+  // The loader stores this process's pid at the head of the private data
+  // window, so identical code computes per-address-space results.
+  U.movImm32(R4, KernelLayout::UserData);
+  U.ldr(R9, R4, 0);
+  U.movImm32(R6, Scale * 30);
+  Label Outer = P.loopHead();
+  // One timeslice of compute over the private window.
+  U.movImm32(R4, KernelLayout::UserData + 0x100);
+  U.movImm32(R5, 48);
+  Label Slice = U.hereLabel();
+  U.ldr(R2, R4, 0);
+  U.add(R2, R2, Operand2::reg(R9));
+  U.add(R2, R2, Operand2::reg(R5)); // position-dependent, nonzero ∀ pids
+  U.alu(Opcode::EOR, R2, R2, Operand2::shiftedReg(R10, ShiftKind::LSR, 3));
+  U.str(R2, R4, 0);
+  U.add(R10, R10, Operand2::reg(R2));
+  U.add(R4, R4, Operand2::imm(4));
+  P.loopTail(Slice, R5);
+  P.syscall(SysYield); // hand the CPU to the next process
+  P.loopTail(Outer, R6);
+  U.add(R10, R10, Operand2::shiftedReg(R9, ShiftKind::LSL, 16));
+  return P.finishProgram();
+}
+
 const std::vector<WorkloadInfo> &allWorkloads() {
   static const std::vector<WorkloadInfo> Table = {
       {"perlbench", true, false, "branchy string hashing"},
@@ -694,6 +730,8 @@ const std::vector<WorkloadInfo> &allWorkloads() {
       {"fileio", false, true, "sequential disk read/write"},
       {"untar", false, true, "archive extraction from disk"},
       {"cpu-prime", false, true, "trial-division prime counting"},
+      {"ctxswitch", false, false,
+       "multi-process round-robin context switching (per-ASID spaces)"},
   };
   return Table;
 }
@@ -716,6 +754,7 @@ Emitter emitterFor(const std::string &Name) {
   if (Name == "fileio") return emitFileio;
   if (Name == "untar") return emitUntar;
   if (Name == "cpu-prime") return emitCpuPrime;
+  if (Name == "ctxswitch") return emitCtxswitch;
   return nullptr;
 }
 
@@ -755,12 +794,21 @@ std::vector<uint32_t> guestsw::buildWorkloadImage(const std::string &Name,
   return E(Scale == 0 ? 1 : Scale);
 }
 
+uint32_t guestsw::requiredWorkloadRam(const std::string &Name) {
+  if (Name == "ctxswitch")
+    return requiredRam(CtxSwitchNumProcs);
+  return KernelLayout::MinRam;
+}
+
 bool guestsw::setupGuest(sys::Platform &Board, const std::string &Name,
                          uint32_t Scale) {
   std::vector<uint32_t> Image = buildWorkloadImage(Name, Scale);
   if (Image.empty())
     return false;
   seedDisk(Board);
-  installGuest(Board, Image);
+  if (Name == "ctxswitch")
+    installGuestProcs(Board, Image, CtxSwitchNumProcs);
+  else
+    installGuest(Board, Image);
   return true;
 }

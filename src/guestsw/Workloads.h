@@ -37,8 +37,12 @@ struct WorkloadInfo {
   const char *Sketch;  ///< one-line description of the modelled kernel
 };
 
+/// Processes behind the "ctxswitch" workload (each with its own ASID and
+/// address space, round-robin scheduled through SysYield).
+constexpr uint32_t CtxSwitchNumProcs = 4;
+
 /// All workloads in presentation order (12 SPEC proxies, then 5
-/// real-world proxies).
+/// real-world proxies, then the system-level scenarios).
 const std::vector<WorkloadInfo> &workloads();
 
 /// Builds the user image for \p Name scaled by \p Scale (roughly
@@ -46,6 +50,11 @@ const std::vector<WorkloadInfo> &workloads();
 /// Returns an empty vector for unknown names.
 std::vector<uint32_t> buildWorkloadImage(const std::string &Name,
                                          uint32_t Scale);
+
+/// Guest RAM the workload's install layout needs (most use
+/// KernelLayout::MinRam; the multi-process scenarios need room for the
+/// per-process physical windows).
+uint32_t requiredWorkloadRam(const std::string &Name);
 
 /// Convenience: builds the workload, installs kernel + program into
 /// \p Board and seeds the virtual disk for the I/O workloads. Returns

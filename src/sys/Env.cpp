@@ -24,6 +24,34 @@ void sys::resetEnv(CpuEnv &Env) {
     }
 }
 
+void sys::requestTbInvalidate(CpuEnv &Env, uint32_t Kind, uint32_t Asid,
+                              uint32_t Page) {
+  assert(Kind != TbInvNone && "raising an empty invalidation");
+  Asid &= AsidMask;
+  Page &= ~0xFFFu;
+  switch (Env.TbInvKind) {
+  case TbInvNone:
+    Env.TbInvKind = Kind;
+    Env.TbInvAsid = Asid;
+    Env.TbInvPage = Page;
+    return;
+  case TbInvFull:
+    return; // already as wide as it gets
+  case TbInvAsid:
+    if (Kind == TbInvAsid && Asid == Env.TbInvAsid)
+      return;
+    break;
+  case TbInvPage:
+    if (Kind == TbInvPage && Page == Env.TbInvPage)
+      return;
+    break;
+  }
+  // Mixed or widening request: escalate to a full invalidation.
+  Env.TbInvKind = TbInvFull;
+  Env.TbInvAsid = 0;
+  Env.TbInvPage = 0;
+}
+
 uint32_t sys::packFlags(const CpuEnv &Env) {
   return (Env.NF ? CpsrN : 0u) | (Env.ZF ? CpsrZ : 0u) |
          (Env.CF ? CpsrC : 0u) | (Env.VF ? CpsrV : 0u);

@@ -47,12 +47,16 @@ constexpr uint32_t TlbInvalidTag = 0xFFFFFFFFu;
 enum : uint32_t { TlbFlagIo = 1u };
 
 /// One direct-mapped TLB entry. Separate read/write tags encode access
-/// permissions, QEMU-style (addr_read/addr_write).
+/// permissions, QEMU-style (addr_read/addr_write). The Asid word records
+/// which address-space the entry was filled under; generated inline
+/// probes never read it (they only see entries of the live ASID — see
+/// flushTlbExceptAsid), but the selective TLB-maintenance flushes key on
+/// it.
 struct TlbEntry {
   uint32_t TagRead;
   uint32_t TagWrite;
   uint32_t PhysFlags; ///< physical page | TlbFlag*
-  uint32_t Pad;
+  uint32_t Asid;      ///< ASID the entry was filled under
 };
 
 /// CPSR bit positions.
@@ -85,16 +89,51 @@ struct CpuEnv {
   // System control registers.
   uint32_t Sctlr, Ttbr0, Dacr, Vbar, Fpscr;
   uint32_t Dfsr, Dfar, Ifsr;
+  uint32_t Contextidr; ///< CONTEXTIDR: current ASID in bits [7:0]
 
   // Emulation control.
-  uint32_t IrqPending;     ///< interrupt controller has an active line
-  uint32_t ExitRequest;    ///< break out of the code cache at next TB head
-  uint32_t Halted;         ///< WFI state
-  uint32_t MmuIdx;         ///< 0 = privileged, 1 = user (selects TLB half)
-  uint32_t TbFlushRequest; ///< translations invalidated (TTBR/SCTLR write)
+  uint32_t IrqPending;  ///< interrupt controller has an active line
+  uint32_t ExitRequest; ///< break out of the code cache at next TB head
+  uint32_t Halted;      ///< WFI state
+  uint32_t MmuIdx;      ///< 0 = privileged, 1 = user (selects TLB half)
+
+  // Pending translation-cache invalidation, raised by the interpreter on
+  // SCTLR MMU toggles and TLB-maintenance ops and consumed by the DBT
+  // engine between TBs. Kind is a TbInv* value; TbInvAsid/TbInvPage carry
+  // the scope operand. Raise through requestTbInvalidate(), which widens
+  // the scope when requests pile up before the engine drains them.
+  uint32_t TbInvKind;
+  uint32_t TbInvAsid; ///< TbInvAsid scope: the ASID to drop
+  uint32_t TbInvPage; ///< TbInvPage scope: page-aligned guest VA
+  /// 1 = legacy policy: any TTBR/SCTLR/CONTEXTIDR write flushes every
+  /// translation and the whole TLB (the pre-ASID behavior, kept as the
+  /// measurable baseline for the ctxswitch_cache bench).
+  uint32_t BlanketInvalidation;
 
   TlbEntry Tlb[2][TlbSize];
 };
+
+/// ASID width (CONTEXTIDR bits [7:0]).
+enum : uint32_t { AsidMask = 0xFFu };
+
+/// Translation-cache invalidation scopes (CpuEnv::TbInvKind).
+enum : uint32_t {
+  TbInvNone = 0,
+  TbInvFull = 1,
+  TbInvAsid = 2,
+  TbInvPage = 3,
+};
+
+/// The ASID the core is currently running under.
+inline uint32_t currentAsid(const CpuEnv &Env) {
+  return Env.Contextidr & AsidMask;
+}
+
+/// Raises (or widens) the pending translation-cache invalidation request.
+/// Two requests of different scopes merge conservatively: distinct ASIDs,
+/// distinct pages, or mixed kinds all escalate to a full invalidation.
+void requestTbInvalidate(CpuEnv &Env, uint32_t Kind, uint32_t Asid = 0,
+                         uint32_t Page = 0);
 
 /// Number of uint32_t words in CpuEnv (for the host machine's bounds
 /// checks).

@@ -427,16 +427,44 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
     if (!Privileged)
       return undefined(Pc);
     const uint32_t Value = Env.Regs[I.Rd];
+    // Under the legacy (pre-ASID) policy, every address-space-affecting
+    // write reproduces the old blanket behavior: whole TLB, every
+    // translation. The selective policy below is the tentpole: TTBR and
+    // CONTEXTIDR writes keep translations alive, and TLB maintenance
+    // invalidates exactly its architectural scope.
+    const bool Blanket = Env.BlanketInvalidation != 0;
     switch (I.SysReg) {
-    case arm::Cp15Reg::SCTLR:
+    case arm::Cp15Reg::SCTLR: {
+      const uint32_t Old = Env.Sctlr;
       Env.Sctlr = Value;
-      Mem.flushTlb();
-      Env.TbFlushRequest = 1;
+      if (Blanket || ((Old ^ Value) & SctlrMmuEnable)) {
+        // The translation regime changed (or legacy policy): nothing
+        // keyed on virtual addresses survives.
+        Mem.flushTlb();
+        requestTbInvalidate(Env, TbInvFull);
+      }
       break;
+    }
     case arm::Cp15Reg::TTBR0:
       Env.Ttbr0 = Value;
-      Mem.flushTlb();
-      Env.TbFlushRequest = 1;
+      if (Blanket) {
+        Mem.flushTlb();
+        requestTbInvalidate(Env, TbInvFull);
+      }
+      // Selective: like hardware, a bare table-base change invalidates
+      // nothing — software must issue TLBIASID/TLBIALL if the mappings
+      // of a live ASID changed.
+      break;
+    case arm::Cp15Reg::CONTEXTIDR:
+      if (Blanket) {
+        Mem.flushTlb();
+        requestTbInvalidate(Env, TbInvFull);
+      } else {
+        // Shelve other address spaces' TLB entries (inline probes are
+        // ASID-blind); translations stay cached under their ASID key.
+        Mem.flushTlbExceptAsid(Value & AsidMask);
+      }
+      Env.Contextidr = Value;
       break;
     case arm::Cp15Reg::DACR:
       Env.Dacr = Value;
@@ -446,6 +474,29 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
       break;
     case arm::Cp15Reg::TLBIALL:
       Mem.flushTlb();
+      // Translations embed code bytes fetched through the old mapping;
+      // a global TLB invalidation signals the mapping may have changed.
+      requestTbInvalidate(Env, TbInvFull);
+      break;
+    case arm::Cp15Reg::TLBIMVA:
+      // Operand: MVA in bits [31:12], ASID in bits [7:0] (the ASID only
+      // scopes the TLB side; the TB drop is per-page across ASIDs).
+      if (Blanket) {
+        Mem.flushTlb();
+        requestTbInvalidate(Env, TbInvFull);
+      } else {
+        Mem.flushTlbPage(Value & ~0xFFFu);
+        requestTbInvalidate(Env, TbInvPage, 0, Value & ~0xFFFu);
+      }
+      break;
+    case arm::Cp15Reg::TLBIASID:
+      if (Blanket) {
+        Mem.flushTlb();
+        requestTbInvalidate(Env, TbInvFull);
+      } else {
+        Mem.flushTlbAsid(Value & AsidMask);
+        requestTbInvalidate(Env, TbInvAsid, Value & AsidMask);
+      }
       break;
     case arm::Cp15Reg::DFSR:
       Env.Dfsr = Value;
@@ -473,7 +524,10 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
     case arm::Cp15Reg::DFSR: Value = Env.Dfsr; break;
     case arm::Cp15Reg::IFSR: Value = Env.Ifsr; break;
     case arm::Cp15Reg::DFAR: Value = Env.Dfar; break;
+    case arm::Cp15Reg::CONTEXTIDR: Value = Env.Contextidr; break;
     case arm::Cp15Reg::TLBIALL:
+    case arm::Cp15Reg::TLBIMVA:
+    case arm::Cp15Reg::TLBIASID:
     case arm::Cp15Reg::Unknown:
       return undefined(Pc);
     }

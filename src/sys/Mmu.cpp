@@ -90,6 +90,7 @@ bool Mmu::fillTlb(uint32_t Va, AccessKind Kind, Fault &F,
   TlbEntry &E = entryFor(Va);
   E.TagRead = TlbInvalidTag;
   E.TagWrite = TlbInvalidTag;
+  E.Asid = currentAsid(Env);
   const bool Io = Board.isIoPage(Pa);
   E.PhysFlags = (Pa & ~0xFFFu) | (Io ? TlbFlagIo : 0u);
 
@@ -118,6 +119,37 @@ void Mmu::flushTlb() {
       E.TagRead = TlbInvalidTag;
       E.TagWrite = TlbInvalidTag;
     }
+}
+
+void Mmu::flushTlbAsid(uint32_t Asid) {
+  Asid &= AsidMask;
+  for (auto &Half : Env.Tlb)
+    for (auto &E : Half)
+      if (E.Asid == Asid) {
+        E.TagRead = TlbInvalidTag;
+        E.TagWrite = TlbInvalidTag;
+      }
+}
+
+void Mmu::flushTlbExceptAsid(uint32_t Asid) {
+  Asid &= AsidMask;
+  for (auto &Half : Env.Tlb)
+    for (auto &E : Half)
+      if (E.Asid != Asid) {
+        E.TagRead = TlbInvalidTag;
+        E.TagWrite = TlbInvalidTag;
+      }
+}
+
+void Mmu::flushTlbPage(uint32_t Va) {
+  const uint32_t Vpn = Va >> 12;
+  for (auto &Half : Env.Tlb) {
+    TlbEntry &E = Half[Vpn & (TlbSize - 1)];
+    if (E.TagRead == Vpn || E.TagWrite == Vpn) {
+      E.TagRead = TlbInvalidTag;
+      E.TagWrite = TlbInvalidTag;
+    }
+  }
 }
 
 bool Mmu::access(uint32_t Va, unsigned Size, uint32_t &Value, bool IsWrite,

@@ -69,8 +69,23 @@ public:
   bool fillTlb(uint32_t Va, AccessKind Kind, Fault &F,
                unsigned &WalkAccesses);
 
-  /// Invalidates both TLB halves (TLBIALL, TTBR/SCTLR writes).
+  /// Invalidates both TLB halves (TLBIALL, SCTLR MMU toggles).
   void flushTlb();
+
+  /// Invalidates entries filled under \p Asid in both halves (TLBIASID,
+  /// the ASID-selective half of TLB maintenance).
+  void flushTlbAsid(uint32_t Asid);
+
+  /// Invalidates entries NOT filled under \p Asid. Run on every
+  /// CONTEXTIDR write: the generated inline probes cannot compare ASIDs,
+  /// so entries of other address spaces must leave the array before the
+  /// new ASID starts executing; entries already tagged with the incoming
+  /// ASID survive the switch.
+  void flushTlbExceptAsid(uint32_t Asid);
+
+  /// Invalidates the entries covering \p Va's page in both halves
+  /// (TLBIMVA).
+  void flushTlbPage(uint32_t Va);
 
   /// Virtual read/write through the TLB with walk-on-miss; the slow-path
   /// equivalent of the generated inline probe, used by the interpreter

@@ -49,9 +49,17 @@ struct RunReport {
   /// Engine-side statistics (all zero for the native executor).
   dbt::EngineStats Engine;
 
+  /// Translation-cache behavior: flushes, selective invalidations,
+  /// retained-vs-dropped blocks, retranslation cost, chain unlinking
+  /// (all zero for the native executor).
+  dbt::CacheStats Cache;
+
   /// Rule-translator translation statistics (zero for other kinds).
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;
+  /// Rule-set pattern matcher statistics (zero for non-rule kinds).
+  uint64_t RuleMatchAttempts = 0;
+  uint64_t RuleMatchHits = 0;
 
   // --- Shorthands for the quantities the figures report -------------------
 

@@ -22,8 +22,9 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
     return;
   }
 
-  const uint32_t Ram =
-      Cfg.ramBytes() ? Cfg.ramBytes() : guestsw::KernelLayout::MinRam;
+  const uint32_t Ram = Cfg.ramBytes()
+                           ? Cfg.ramBytes()
+                           : guestsw::requiredWorkloadRam(Cfg.workload());
   Board_ = std::make_unique<sys::Platform>(Ram);
 
   if (Cfg.isFlatImage()) {
@@ -37,6 +38,9 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
     Error_ = "unknown workload '" + Cfg.workload() + "'";
     return;
   }
+  // After guest install (installers reset the env, which clears the
+  // policy word). The interpreter honors it on every executor path.
+  Board_->Env.BlanketInvalidation = Cfg.blanketCacheInvalidation() ? 1u : 0u;
 
   if (!Kind_->UsesEngine)
     return; // interpreter-executed: no translator, no engine
@@ -88,9 +92,16 @@ RunReport Vm::run(uint64_t WallBudget) {
     R.Stop = Engine_->run(WallBudget);
     R.Counters = Engine_->counters();
     R.Engine = Engine_->Stats;
+    R.Cache = Engine_->codeCache().Stats;
+    R.Cache.LiveTbs = Engine_->codeCache().size();
     if (const auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get())) {
       R.RuleCoveredInstrs = Rule->RuleCoveredInstrs;
       R.FallbackInstrs = Rule->FallbackInstrs;
+    }
+    if (Kind_->NeedsRules) {
+      const rules::RuleSet *RS = Cfg.rules() ? Cfg.rules() : &OwnedRules_;
+      R.RuleMatchAttempts = RS->MatchAttempts;
+      R.RuleMatchHits = RS->MatchHits;
     }
   }
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;

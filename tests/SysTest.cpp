@@ -168,6 +168,89 @@ TEST_F(MmuFixture, ReadOnlyPageInstallsNoWriteTag) {
   EXPECT_EQ(F.Fsr, FsrPermissionPage);
 }
 
+TEST_F(MmuFixture, TlbEntriesTaggedWithCurrentAsid) {
+  buildTables();
+  uint32_t Value = 0;
+  Fault F;
+  Board.Env.Contextidr = 5;
+  ASSERT_TRUE(Mmu_.readVirt(0x40, 4, Value, F));
+  const TlbEntry &E = Board.Env.Tlb[0][0];
+  EXPECT_EQ(E.Asid, 5u);
+  EXPECT_EQ(E.TagRead, 0u);
+}
+
+TEST_F(MmuFixture, AsidSelectiveTlbFlushes) {
+  buildTables();
+  uint32_t Value = 0;
+  Fault F;
+  // Fill page 0 under ASID 1 and page 1 under ASID 2 (different TLB
+  // slots, both halves' privileged side).
+  Board.Env.Contextidr = 1;
+  ASSERT_TRUE(Mmu_.readVirt(0x40, 4, Value, F));
+  Board.Env.Contextidr = 2;
+  ASSERT_TRUE(Mmu_.readVirt(0x1040, 4, Value, F));
+
+  // TLBIASID 1 keeps ASID 2's entry.
+  Mmu_.flushTlbAsid(1);
+  EXPECT_EQ(Board.Env.Tlb[0][0].TagRead, TlbInvalidTag);
+  EXPECT_EQ(Board.Env.Tlb[0][1].TagRead, 1u);
+
+  // Refill page 0 under ASID 1; a switch to ASID 2 shelves it but keeps
+  // ASID 2's own entry.
+  Board.Env.Contextidr = 1;
+  ASSERT_TRUE(Mmu_.readVirt(0x40, 4, Value, F));
+  Mmu_.flushTlbExceptAsid(2);
+  EXPECT_EQ(Board.Env.Tlb[0][0].TagRead, TlbInvalidTag);
+  EXPECT_EQ(Board.Env.Tlb[0][1].TagRead, 1u);
+}
+
+TEST_F(MmuFixture, PageSelectiveTlbFlush) {
+  buildTables();
+  uint32_t Value = 0;
+  Fault F;
+  ASSERT_TRUE(Mmu_.readVirt(0x40, 4, Value, F));
+  ASSERT_TRUE(Mmu_.readVirt(0x1040, 4, Value, F));
+  Mmu_.flushTlbPage(0x0);
+  EXPECT_EQ(Board.Env.Tlb[0][0].TagRead, TlbInvalidTag);
+  EXPECT_EQ(Board.Env.Tlb[0][1].TagRead, 1u) << "other pages must survive";
+}
+
+TEST(Env, TbInvalidateRequestMerging) {
+  CpuEnv Env;
+  resetEnv(Env);
+  EXPECT_EQ(Env.TbInvKind, TbInvNone);
+
+  // Same-scope requests coalesce.
+  requestTbInvalidate(Env, TbInvAsid, 3);
+  requestTbInvalidate(Env, TbInvAsid, 3);
+  EXPECT_EQ(Env.TbInvKind, TbInvAsid);
+  EXPECT_EQ(Env.TbInvAsid, 3u);
+
+  // A different ASID escalates to full.
+  requestTbInvalidate(Env, TbInvAsid, 4);
+  EXPECT_EQ(Env.TbInvKind, TbInvFull);
+
+  // Full absorbs everything.
+  requestTbInvalidate(Env, TbInvPage, 0, 0x4000);
+  EXPECT_EQ(Env.TbInvKind, TbInvFull);
+
+  // Page + different page escalates; page + same page coalesces.
+  Env.TbInvKind = TbInvNone;
+  requestTbInvalidate(Env, TbInvPage, 0, 0x4123); // low bits masked
+  EXPECT_EQ(Env.TbInvKind, TbInvPage);
+  EXPECT_EQ(Env.TbInvPage, 0x4000u);
+  requestTbInvalidate(Env, TbInvPage, 0, 0x4000);
+  EXPECT_EQ(Env.TbInvKind, TbInvPage);
+  requestTbInvalidate(Env, TbInvPage, 0, 0x5000);
+  EXPECT_EQ(Env.TbInvKind, TbInvFull);
+
+  // Mixed kinds escalate.
+  Env.TbInvKind = TbInvNone;
+  requestTbInvalidate(Env, TbInvAsid, 1);
+  requestTbInvalidate(Env, TbInvPage, 0, 0x4000);
+  EXPECT_EQ(Env.TbInvKind, TbInvFull);
+}
+
 TEST_F(MmuFixture, MmioNeverInstallsTlbTags) {
   uint32_t Value = 0;
   Fault F;
@@ -317,6 +400,62 @@ TEST_F(InterpFixture, LdmStmRoundTrip) {
   EXPECT_EQ(Board.Env.Regs[1], 0x22u);
   EXPECT_EQ(Board.Env.Regs[14], 0x33u);
   EXPECT_EQ(Board.Env.Regs[13], 0x4000u);
+}
+
+TEST_F(InterpFixture, Cp15InvalidationSemantics) {
+  AsmBuilder A(0x100);
+  A.mcr(Cp15Reg::CONTEXTIDR, 3); // 0x100
+  A.mcr(Cp15Reg::TTBR0, 4);      // 0x104
+  A.mcr(Cp15Reg::SCTLR, 5);      // 0x108 (no M toggle: r5 = 0)
+  A.mcr(Cp15Reg::TLBIASID, 6);   // 0x10C
+  A.mcr(Cp15Reg::TLBIMVA, 8);    // 0x110
+  A.mcr(Cp15Reg::SCTLR, 7);      // 0x114 (M toggle: r7 = 1)
+  load(A);
+  Board.Env.Regs[3] = 7;
+  Board.Env.Regs[4] = 0x8000;
+  Board.Env.Regs[5] = 0;
+  Board.Env.Regs[6] = 7;
+  Board.Env.Regs[8] = 0x00345007; // MVA 0x345000, ASID 7
+  Board.Env.Regs[7] = SctlrMmuEnable;
+
+  // CONTEXTIDR switches the ASID without touching translations.
+  ASSERT_EQ(stepAt(0x100), StepKind::Ok);
+  EXPECT_EQ(currentAsid(Board.Env), 7u);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvNone);
+
+  // A bare TTBR0 write invalidates nothing (software must TLBI).
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.Ttbr0, 0x8000u);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvNone);
+
+  // An SCTLR write that keeps the M bit invalidates nothing.
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvNone);
+
+  // TLBIASID raises a by-ASID request.
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvAsid);
+  EXPECT_EQ(Board.Env.TbInvAsid, 7u);
+
+  // TLBIMVA widens (different scope) to a full request.
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvFull);
+
+  // Toggling SCTLR.M raises (keeps) the full request.
+  ASSERT_EQ(In.step(), StepKind::Ok);
+  EXPECT_EQ(Board.Env.Sctlr & SctlrMmuEnable, SctlrMmuEnable);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvFull);
+}
+
+TEST_F(InterpFixture, BlanketPolicyRestoresLegacyFlushes) {
+  AsmBuilder A(0x100);
+  A.mcr(Cp15Reg::TTBR0, 4);
+  load(A);
+  Board.Env.BlanketInvalidation = 1;
+  Board.Env.Regs[4] = 0x8000;
+  ASSERT_EQ(stepAt(0x100), StepKind::Ok);
+  EXPECT_EQ(Board.Env.TbInvKind, TbInvFull)
+      << "legacy policy: every TTBR write flushes everything";
 }
 
 TEST_F(InterpFixture, WfiHaltsUntilIrq) {

@@ -6,17 +6,34 @@
 // same guest console output and stops with a clean guest shutdown.
 //
 // Usage: rdbt_scenarios [workload] [scale]     (default: libquantum 1)
+//        rdbt_scenarios --list                 list workloads and kinds
 //
 //===----------------------------------------------------------------------===//
 
+#include "guestsw/Workloads.h"
 #include "vm/Vm.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace rdbt;
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    std::printf("workloads:\n");
+    for (const auto &W : guestsw::workloads())
+      std::printf("  %-12s %-10s %s\n", W.Name,
+                  W.IsSpecProxy   ? "[spec]"
+                  : W.IsRealWorld ? "[realworld]"
+                                  : "[system]",
+                  W.Sketch);
+    std::printf("\ntranslator kinds:\n");
+    for (const std::string &K : vm::TranslatorRegistry::global().kinds())
+      std::printf("  %s\n", K.c_str());
+    return 0;
+  }
+
   const char *Workload = argc > 1 ? argv[1] : "libquantum";
   const uint32_t Scale =
       argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 1;
