@@ -93,6 +93,10 @@ struct RunStats {
   // Rule-set pattern matcher statistics (zero for non-rule kinds).
   uint64_t RuleMatchAttempts = 0;
   uint64_t RuleMatchHits = 0;
+  // Translation-gap profile (zero unless a GapMiner was attached).
+  uint64_t GapSeqs = 0;
+  uint64_t GapTranslations = 0;
+  uint64_t GapExecs = 0;
   bool Ok = false;
 
   double hostPerGuest() const {
@@ -138,6 +142,9 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.RetranslatedGuestInstrs = R.Cache.RetranslatedGuestInstrs;
   S.RuleMatchAttempts = R.RuleMatchAttempts;
   S.RuleMatchHits = R.RuleMatchHits;
+  S.GapSeqs = R.Profile.GapSeqs;
+  S.GapTranslations = R.Profile.GapTranslations;
+  S.GapExecs = R.Profile.GapExecs;
   return S;
 }
 
@@ -243,7 +250,10 @@ inline void writeBenchJson(const char *BenchName) {
        << ", \"retranslated_guest_instrs\": "
        << Run.S.RetranslatedGuestInstrs
        << ", \"rule_match_attempts\": " << Run.S.RuleMatchAttempts
-       << ", \"rule_match_hits\": " << Run.S.RuleMatchHits << "}";
+       << ", \"rule_match_hits\": " << Run.S.RuleMatchHits
+       << ", \"gap_seqs\": " << Run.S.GapSeqs
+       << ", \"gap_translations\": " << Run.S.GapTranslations
+       << ", \"gap_execs\": " << Run.S.GapExecs << "}";
   }
   OS << "\n  ],\n  \"metrics\": [";
   for (size_t I = 0; I < R.Metrics.size(); ++I) {

@@ -8,6 +8,7 @@
 
 #include "dbt/Helpers.h"
 #include "dbt/SoftmmuEmit.h"
+#include "profile/GapMiner.h"
 #include "sys/Env.h"
 
 #include <cassert>
@@ -745,6 +746,10 @@ void BlockEmitter::emitInstr(size_t &Idx) {
     return;
   }
   if (!I.isValid() || I.isSystemLevel() || needsHelper(I, Rules)) {
+    // A valid computation instruction falling back here is a *rule miss*
+    // — the raw material of the offline learning loop.
+    if (I.isValid() && !I.isSystemLevel() && Stats.gapMiner())
+      Stats.gapMiner()->recordMiss(&Order[Idx], Order.size() - Idx, Pc);
     emitFallback(I, Pc);
     ++Idx;
     return;
@@ -811,4 +816,9 @@ void RuleTranslator::translate(const dbt::GuestBlock &GB,
 bool RuleTranslator::allowChainFlagElision(const host::HostBlock &,
                                            const host::HostBlock &To) const {
   return Opt.InterTb && To.DefinesFlagsBeforeUse;
+}
+
+void RuleTranslator::noteFallbackExecuted(uint32_t GuestPc) {
+  if (Miner)
+    Miner->noteExecution(GuestPc);
 }

@@ -45,6 +45,9 @@
 #include "rules/RuleSet.h"
 
 namespace rdbt {
+namespace profile {
+class GapMiner;
+}
 namespace core {
 
 /// Cumulative optimization levels matching Fig. 16's series.
@@ -94,6 +97,14 @@ public:
   bool allowChainFlagElision(const host::HostBlock &From,
                              const host::HostBlock &To) const override;
 
+  /// Attaches a translation-gap miner (caller-owned, may be null): rule
+  /// misses are recorded at translation time and the engine's
+  /// noteFallbackExecuted() feedback accumulates their dynamic weight.
+  void setGapMiner(profile::GapMiner *M) { Miner = M; }
+  profile::GapMiner *gapMiner() const { return Miner; }
+
+  void noteFallbackExecuted(uint32_t GuestPc) override;
+
   /// Translation-time statistics.
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;
@@ -103,6 +114,7 @@ public:
 private:
   const rules::RuleSet &Rules;
   OptConfig Opt;
+  profile::GapMiner *Miner = nullptr;
 };
 
 } // namespace core

@@ -32,6 +32,8 @@ bool Translator::allowChainFlagElision(const host::HostBlock &,
   return false;
 }
 
+void Translator::noteFallbackExecuted(uint32_t) {}
+
 DbtEngine::DbtEngine(sys::Platform &B, Translator &T)
     : Board(B), Xlat(T), Mmu_(B.Env, B), Interp(B.Env, Mmu_, B), Port(B),
       Machine(reinterpret_cast<uint32_t *>(&B.Env), sys::envWordCount(),
@@ -244,6 +246,7 @@ host::HelperHandler::Outcome DbtEngine::emulateHelper(uint32_t GuestPc) {
   Outcome Out;
   Out.Cost = cost::EmulateInstr;
   sys::CpuEnv &Env = Board.Env;
+  Xlat.noteFallbackExecuted(GuestPc);
 
   // The paper's III-B deferred parse: emulating an instruction that
   // consumes flags forces the packed CCR to be exploded into QEMU's

@@ -49,6 +49,12 @@ public:
   /// optimization level.
   virtual bool allowChainFlagElision(const host::HostBlock &From,
                                      const host::HostBlock &To) const;
+
+  /// Execution-time feedback: the engine ran the emulate helper for the
+  /// guest instruction at \p GuestPc. The rule translator forwards this
+  /// to its gap miner (profile/GapMiner.h) so mined translation gaps are
+  /// ranked by dynamic weight; the default ignores it.
+  virtual void noteFallbackExecuted(uint32_t GuestPc);
 };
 
 } // namespace dbt

@@ -1,0 +1,338 @@
+//===- profile/GapMiner.cpp - Translation-gap miner -------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/GapMiner.h"
+
+#include "arm/Decoder.h"
+#include "arm/Disasm.h"
+#include "arm/Encoder.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace rdbt;
+using namespace rdbt::profile;
+using arm::Inst;
+using arm::Opcode;
+
+namespace {
+
+/// The gap-report format version.
+constexpr unsigned GapFileVersion = 1;
+
+/// True when \p I can appear in a mined sequence: a straight-line
+/// computation instruction with no PC operand — the territory rules (and
+/// the training language) can ever cover. Memory accesses, branches, and
+/// system-level instructions are handled structurally or by design-time
+/// helpers, so recording them would only bury the learnable gaps.
+bool minable(const Inst &I) {
+  if (!I.isValid() || I.isSystemLevel() || I.isMemAccess() ||
+      I.endsBlock() || I.Op == Opcode::NOP)
+    return false;
+  const auto IsPc = [](uint8_t R) { return R == arm::RegPC; };
+  if (I.isDataProcessing()) {
+    if (!I.isCompare() && IsPc(I.Rd))
+      return false;
+    if (I.Op != Opcode::MOV && I.Op != Opcode::MVN && IsPc(I.Rn))
+      return false;
+    if (!I.Op2.IsImm && (IsPc(I.Op2.Rm) || (I.Op2.RegShift && IsPc(I.Op2.Rs))))
+      return false;
+    return true;
+  }
+  switch (I.Op) {
+  case Opcode::MUL:
+  case Opcode::MLA:
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    return !IsPc(I.Rd) && !IsPc(I.Rn) && !IsPc(I.Rm) && !IsPc(I.Rs);
+  case Opcode::CLZ:
+    return !IsPc(I.Rd) && !IsPc(I.Rm);
+  default:
+    return false;
+  }
+}
+
+/// Renames the registers of \p I in place through the first-appearance
+/// map \p VarOf / \p Next, touching only the fields the opcode uses.
+void renameRegs(Inst &I, int8_t VarOf[16], uint8_t &Next) {
+  const auto R = [&](uint8_t Reg) -> uint8_t {
+    if (VarOf[Reg] < 0)
+      VarOf[Reg] = static_cast<int8_t>(Next++);
+    return static_cast<uint8_t>(VarOf[Reg]);
+  };
+  if (I.isDataProcessing()) {
+    if (!I.isCompare())
+      I.Rd = R(I.Rd);
+    if (I.Op != Opcode::MOV && I.Op != Opcode::MVN)
+      I.Rn = R(I.Rn);
+    if (!I.Op2.IsImm) {
+      I.Op2.Rm = R(I.Op2.Rm);
+      if (I.Op2.RegShift)
+        I.Op2.Rs = R(I.Op2.Rs);
+    }
+    return;
+  }
+  switch (I.Op) {
+  case Opcode::MUL:
+    I.Rd = R(I.Rd);
+    I.Rm = R(I.Rm);
+    I.Rs = R(I.Rs);
+    break;
+  case Opcode::MLA:
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+    I.Rd = R(I.Rd);
+    I.Rn = R(I.Rn);
+    I.Rm = R(I.Rm);
+    I.Rs = R(I.Rs);
+    break;
+  case Opcode::CLZ:
+    I.Rd = R(I.Rd);
+    I.Rm = R(I.Rm);
+    break;
+  default:
+    break;
+  }
+}
+
+/// The canonical gap key: the encoded words of the normalized sequence.
+std::string keyOf(const std::vector<Inst> &Seq) {
+  std::string Key;
+  for (const Inst &I : Seq)
+    Key += format("%08x.", arm::encode(I));
+  return Key;
+}
+
+bool gapOrder(const Gap &A, const Gap &B) {
+  if (A.weight() != B.weight())
+    return A.weight() > B.weight();
+  return keyOf(A.Seq) < keyOf(B.Seq);
+}
+
+} // namespace
+
+void GapMiner::recordMiss(const Inst *Insts, size_t Count, uint32_t GuestPc) {
+  ++Misses;
+  if (Count == 0 || !minable(Insts[0]))
+    return;
+
+  // Normalized window: condition stripped, registers renamed by first
+  // appearance; extends over same-condition minable instructions only
+  // (a rule pattern can never span a condition change).
+  std::vector<Inst> Seq;
+  int8_t VarOf[16];
+  for (int8_t &V : VarOf)
+    V = -1;
+  uint8_t Next = 0;
+  const size_t Window = std::min<size_t>(Count, MaxGapWindow);
+  for (size_t K = 0; K < Window; ++K) {
+    const Inst &I = Insts[K];
+    if (!minable(I) || I.C != Insts[0].C)
+      break;
+    Inst N = I;
+    N.C = arm::Cond::AL;
+    renameRegs(N, VarOf, Next);
+    Seq.push_back(N);
+  }
+
+  const std::string Key = keyOf(Seq);
+  auto It = ByKey.find(Key);
+  size_t Idx;
+  if (It == ByKey.end()) {
+    Idx = Gaps.size();
+    Gap G;
+    G.Seq = std::move(Seq);
+    Gaps.push_back(std::move(G));
+    ByKey.emplace(Key, Idx);
+  } else {
+    Idx = It->second;
+  }
+  ++Gaps[Idx].TransOccurrences;
+  ByPc[GuestPc] = Idx;
+}
+
+void GapMiner::noteExecution(uint32_t GuestPc) {
+  const auto It = ByPc.find(GuestPc);
+  if (It == ByPc.end())
+    return;
+  ++Gaps[It->second].DynExecs;
+  ++GapExecs;
+}
+
+GapReport GapMiner::report(size_t TopN) const {
+  GapReport R;
+  R.Misses = Misses;
+  R.Gaps = Gaps;
+  std::sort(R.Gaps.begin(), R.Gaps.end(), gapOrder);
+  if (TopN && R.Gaps.size() > TopN)
+    R.Gaps.resize(TopN);
+  return R;
+}
+
+void GapMiner::clear() {
+  Gaps.clear();
+  ByKey.clear();
+  ByPc.clear();
+  Misses = 0;
+  GapExecs = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Gap report serialization
+//===----------------------------------------------------------------------===//
+
+std::string profile::writeGapReport(const GapReport &Report) {
+  std::string Out;
+  Out += format("ruledbt-gaps v%u\n", GapFileVersion);
+  if (!Report.Origin.empty())
+    Out += "origin " + Report.Origin + "\n";
+  Out += format("misses %llu\n",
+                static_cast<unsigned long long>(Report.Misses));
+  for (const Gap &G : Report.Gaps) {
+    Out += format("\ngap trans=%llu dyn=%llu\n",
+                  static_cast<unsigned long long>(G.TransOccurrences),
+                  static_cast<unsigned long long>(G.DynExecs));
+    for (const arm::Inst &I : G.Seq)
+      Out += format("w %08x ; %s\n", arm::encode(I),
+                    arm::disassemble(I).c_str());
+    Out += "end\n";
+  }
+  return Out;
+}
+
+bool profile::readGapReport(const std::string &Text, GapReport &Out,
+                            std::string *Error) {
+  const auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+
+  GapReport Fresh;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  bool SawHeader = false, InGap = false;
+  Gap G;
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    std::istringstream LS(Line);
+    std::string Tag;
+    if (!(LS >> Tag) || Tag[0] == '#')
+      continue;
+
+    if (!SawHeader) {
+      std::string Version;
+      if (Tag != "ruledbt-gaps" || !(LS >> Version) ||
+          Version != format("v%u", GapFileVersion))
+        return Fail(format("line %u: not a ruledbt-gaps v%u file", LineNo,
+                           GapFileVersion));
+      SawHeader = true;
+      continue;
+    }
+    if (Tag == "origin" && !InGap) {
+      const size_t At = Line.find("origin ");
+      Fresh.Origin =
+          At == std::string::npos ? std::string() : Line.substr(At + 7);
+      continue;
+    }
+    if (Tag == "misses" && !InGap) {
+      unsigned long long N = 0;
+      if (!(LS >> N))
+        return Fail(format("line %u: bad misses count", LineNo));
+      Fresh.Misses = N;
+      continue;
+    }
+    if (Tag == "gap") {
+      if (InGap)
+        return Fail(format("line %u: nested gap", LineNo));
+      G = Gap();
+      std::string Token;
+      while (LS >> Token) {
+        unsigned long long N = 0;
+        if (Token.rfind("trans=", 0) == 0 &&
+            std::sscanf(Token.c_str() + 6, "%llu", &N) == 1)
+          G.TransOccurrences = N;
+        else if (Token.rfind("dyn=", 0) == 0 &&
+                 std::sscanf(Token.c_str() + 4, "%llu", &N) == 1)
+          G.DynExecs = N;
+        else
+          return Fail(format("line %u: bad gap token '%s'", LineNo,
+                             Token.c_str()));
+      }
+      InGap = true;
+      continue;
+    }
+    if (Tag == "w") {
+      if (!InGap)
+        return Fail(format("line %u: instruction outside a gap", LineNo));
+      std::string Hex;
+      if (!(LS >> Hex))
+        return Fail(format("line %u: missing instruction word", LineNo));
+      uint32_t Word = 0;
+      if (std::sscanf(Hex.c_str(), "%x", &Word) != 1)
+        return Fail(format("line %u: bad instruction word '%s'", LineNo,
+                           Hex.c_str()));
+      const arm::Inst I = arm::decode(Word);
+      if (!I.isValid())
+        return Fail(format("line %u: word %08x does not decode", LineNo,
+                           Word));
+      G.Seq.push_back(I);
+      continue;
+    }
+    if (Tag == "end") {
+      if (!InGap || G.Seq.empty())
+        return Fail(format("line %u: 'end' without a populated gap",
+                           LineNo));
+      Fresh.Gaps.push_back(std::move(G));
+      InGap = false;
+      continue;
+    }
+    return Fail(format("line %u: unexpected '%s'", LineNo, Tag.c_str()));
+  }
+  if (!SawHeader)
+    return Fail("empty gap report");
+  if (InGap)
+    return Fail("unterminated gap (missing 'end')");
+  Out = std::move(Fresh);
+  return true;
+}
+
+bool profile::writeGapFile(const std::string &Path, const GapReport &Report,
+                           std::string *Error) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  const std::string Text = writeGapReport(Report);
+  OS.write(Text.data(), static_cast<std::streamsize>(Text.size()));
+  if (!OS) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool profile::readGapFile(const std::string &Path, GapReport &Out,
+                          std::string *Error) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  return readGapReport(Buffer.str(), Out, Error);
+}

@@ -1,0 +1,115 @@
+//===- profile/GapMiner.h - Translation-gap miner ---------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation-time miss profiler that closes the feedback half of the
+/// paper's offline/online loop: whenever the rule translator sends a
+/// guest instruction to the emulate-helper fallback because *no rule
+/// matched*, the miner records a normalized window of the guest sequence
+/// (registers renamed by first appearance, condition stripped — so the
+/// same code shape aggregates regardless of allocation), and the engine
+/// reports back every dynamic execution of that fallback so gaps are
+/// ranked by how much they actually cost at run time. This is the
+/// profile-the-translator-to-build-the-translator loop of do Rosario et
+/// al. (see PAPERS.md); tools/rdbt_rulegen turns a mined report into new
+/// rules via the rules/Learner.h pipeline.
+///
+/// Gap reports serialize to a versioned, diffable text format (one
+/// encoded instruction word per line, with its disassembly as a trailing
+/// comment) whose canonical writer re-serializes byte-identically — the
+/// same contract rules/RuleIo.h gives rule files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_PROFILE_GAPMINER_H
+#define RDBT_PROFILE_GAPMINER_H
+
+#include "arm/Isa.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rdbt {
+namespace profile {
+
+/// Upper bound on the guest instructions captured per gap: the matcher
+/// tries rules longest-pattern-first, so a mined sequence longer than any
+/// learnable rule pattern is wasted context.
+constexpr unsigned MaxGapWindow = 4;
+
+/// One mined translation gap: a normalized guest sequence the rule
+/// matcher failed on, with its translation-time and run-time weights.
+struct Gap {
+  std::vector<arm::Inst> Seq; ///< normalized (regs renamed, condition AL)
+  uint64_t TransOccurrences = 0; ///< translation-time sightings
+  uint64_t DynExecs = 0; ///< dynamic executions of the leading fallback
+
+  /// Ranking weight: dynamic executions dominate; translation sightings
+  /// break ties for gaps in never-executed (or not-yet-executed) code.
+  uint64_t weight() const { return DynExecs * 1000 + TransOccurrences; }
+};
+
+/// A complete mined report — what rdbt_rulegen consumes.
+struct GapReport {
+  std::string Origin; ///< free text, e.g. the VmConfig spec that was mined
+  uint64_t Misses = 0; ///< all rule-miss observations (incl. unminable)
+  std::vector<Gap> Gaps; ///< weight-descending
+};
+
+class GapMiner {
+public:
+  /// Translation-time hook: \p Insts[0] is the instruction no rule
+  /// matched; up to MaxGapWindow following instructions give sequence
+  /// context. \p GuestPc keys the dynamic-execution feedback.
+  void recordMiss(const arm::Inst *Insts, size_t Count, uint32_t GuestPc);
+
+  /// Execution-time hook: the emulate helper ran for \p GuestPc. Only
+  /// PCs previously recorded as misses are counted.
+  void noteExecution(uint32_t GuestPc);
+
+  /// Aggregates (the RunReport::Profile section).
+  uint64_t distinctGaps() const { return Gaps.size(); }
+  uint64_t missObservations() const { return Misses; }
+  uint64_t gapExecutions() const { return GapExecs; }
+
+  /// Builds the sorted report; \p TopN == 0 keeps every gap.
+  GapReport report(size_t TopN = 0) const;
+
+  void clear();
+
+private:
+  std::vector<Gap> Gaps;
+  /// Canonical key (encoded normalized words) -> Gaps index.
+  std::map<std::string, size_t> ByKey;
+  /// Leading guest PC -> Gaps index, for the dynamic feedback. Virtual
+  /// PCs can collide across address spaces; the profile is a heuristic
+  /// ranking, so last-recorder-wins is acceptable.
+  std::unordered_map<uint32_t, size_t> ByPc;
+  uint64_t Misses = 0;
+  uint64_t GapExecs = 0;
+};
+
+/// Serializes \p Report to the canonical "ruledbt-gaps v1" text form.
+std::string writeGapReport(const GapReport &Report);
+
+/// Parses \p Text into \p Out (replacing its contents). Returns false
+/// and sets *Error on malformed input.
+bool readGapReport(const std::string &Text, GapReport &Out,
+                   std::string *Error = nullptr);
+
+/// File convenience wrappers.
+bool writeGapFile(const std::string &Path, const GapReport &Report,
+                  std::string *Error = nullptr);
+bool readGapFile(const std::string &Path, GapReport &Out,
+                 std::string *Error = nullptr);
+
+} // namespace profile
+} // namespace rdbt
+
+#endif // RDBT_PROFILE_GAPMINER_H

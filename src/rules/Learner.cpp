@@ -138,6 +138,26 @@ bool compileGuest(const TrainStmt &S, std::vector<Inst> &Out) {
     I.Rs = varReg(S.B);
     I.Rn = varReg(S.C);
     break;
+  case TrainStmt::Kind::MovShift:
+    // Amount 0 is the LSR/ASR #32 encoding; outside the language.
+    if (S.ShAmt == 0 || S.ShAmt > 31)
+      return false;
+    I.Op = Opcode::MOV;
+    I.Rd = varReg(S.D);
+    I.Op2 = arm::Operand2::shiftedReg(varReg(S.A), S.Shift, S.ShAmt);
+    break;
+  case TrainStmt::Kind::CmpShift:
+    // Only the arithmetic compares: tst/teq-with-shift need the shifter
+    // carry and stay on the fallback path (like the reference set).
+    if (S.Op != Opcode::CMP && S.Op != Opcode::CMN)
+      return false;
+    if (S.ShAmt == 0 || S.ShAmt > 31)
+      return false;
+    I.Op = S.Op;
+    I.SetFlags = true;
+    I.Rn = varReg(S.A);
+    I.Op2 = arm::Operand2::shiftedReg(varReg(S.B), S.Shift, S.ShAmt);
+    break;
   }
   Out.push_back(I);
   return true;
@@ -255,6 +275,23 @@ bool compileHost(const TrainStmt &S, std::vector<HInst> &Out) {
     Emit(HOp::Add, D, HostScratch, false, 0, false);
     return true;
   }
+  case TrainStmt::Kind::MovShift:
+    // The flag-setting host shift reproduces ARM's NZ + shifter carry.
+    if (S.ShAmt == 0 || S.ShAmt > 31)
+      return false;
+    if (D != A)
+      Emit(HOp::Mov, D, A, false, 0, false);
+    Emit(shiftHostOp(S.Shift), D, 0, true, S.ShAmt, S.SetFlags);
+    return true;
+  case TrainStmt::Kind::CmpShift:
+    if (S.Op != Opcode::CMP && S.Op != Opcode::CMN)
+      return false;
+    if (S.ShAmt == 0 || S.ShAmt > 31)
+      return false;
+    Emit(HOp::Mov, HostScratch, B, false, 0, false);
+    Emit(shiftHostOp(S.Shift), HostScratch, 0, true, S.ShAmt, false);
+    Emit(hostOpFor(S.Op), A, HostScratch, false, 0, false);
+    return true;
   }
   return false;
 }
@@ -318,6 +355,8 @@ bool parameterize(const TrainStmt &S, Rule &Out) {
     Pat.ImmP = 0;
     break;
   case TrainStmt::Kind::BinShift:
+  case TrainStmt::Kind::MovShift:
+  case TrainStmt::Kind::CmpShift:
     Pat.Shape = PatShape::DpRegShiftImm;
     Pat.Shift = S.Shift;
     Pat.ShAmtP = 0;
@@ -352,7 +391,8 @@ bool parameterize(const TrainStmt &S, Rule &Out) {
   Out.Name = format("learned_%s_%d", arm::opcodeName(I.Op),
                     static_cast<int>(S.K));
   Out.Classes = {{{I.Op, hostOpFor(I.Op)}}};
-  if (S.K == TrainStmt::Kind::BinShift)
+  if (S.K == TrainStmt::Kind::BinShift ||
+      S.K == TrainStmt::Kind::MovShift)
     Out.Classes = {{{I.Op, shiftHostOp(S.Shift)}}};
   Out.Guest = {Pat};
   Out.DefinesFlags = I.definesFlags();
@@ -380,7 +420,9 @@ bool parameterize(const TrainStmt &S, Rule &Out) {
       T.UseImm = true;
       if (HasImm && static_cast<uint32_t>(H.Imm) == S.Imm)
         T.ImmP = 0;
-      else if (S.K == TrainStmt::Kind::BinShift &&
+      else if ((S.K == TrainStmt::Kind::BinShift ||
+                S.K == TrainStmt::Kind::MovShift ||
+                S.K == TrainStmt::Kind::CmpShift) &&
                static_cast<uint32_t>(H.Imm) == S.ShAmt)
         T.ImmP = 0;
       else
@@ -528,6 +570,14 @@ RuleSet rules::learnRuleSet(unsigned CorpusSize, uint64_t Seed,
   }
   Local.RulesBeforeMerge = static_cast<unsigned>(Learned.size());
 
+  RuleSet RS = mergeLearnedRules(Learned);
+  Local.RulesAfterMerge = static_cast<unsigned>(RS.size());
+  if (Stats)
+    *Stats = Local;
+  return RS;
+}
+
+RuleSet rules::mergeLearnedRules(const std::vector<Rule> &Learned) {
   // Parameterization phase 2: merge rules identical modulo the opcode
   // pair into opcode classes, drop duplicates.
   std::map<std::string, Rule> Merged;
@@ -563,10 +613,154 @@ RuleSet rules::learnRuleSet(unsigned CorpusSize, uint64_t Seed,
     }
     RS.add(R);
   }
+  return RS;
+}
+
+RuleSet rules::learnFromGapSequences(
+    const std::vector<std::vector<arm::Inst>> &Seqs, LearnStats *Stats,
+    unsigned *Unlearnable) {
+  LearnStats Local;
+  unsigned Outside = 0;
+  std::vector<Rule> Learned;
+  for (const std::vector<arm::Inst> &Seq : Seqs) {
+    for (const arm::Inst &I : Seq) {
+      TrainStmt S;
+      if (!statementFromInst(I, S)) {
+        ++Outside;
+        continue;
+      }
+      ++Local.Statements;
+      const LearnOutcome O = learnFromStatement(S, Learned);
+      if (O.Verified)
+        ++Local.VerifiedPairs;
+      else
+        ++Local.RejectedPairs;
+    }
+  }
+  Local.RulesBeforeMerge = static_cast<unsigned>(Learned.size());
+  RuleSet RS = mergeLearnedRules(Learned);
   Local.RulesAfterMerge = static_cast<unsigned>(RS.size());
   if (Stats)
     *Stats = Local;
+  if (Unlearnable)
+    *Unlearnable = Outside;
   return RS;
+}
+
+bool rules::statementFromInst(const arm::Inst &I, TrainStmt &Out) {
+  if (!I.isValid() || I.isSystemLevel())
+    return false;
+
+  // Register -> variable mapping by first use; the training language has
+  // eight variables and never touches the PC.
+  int8_t VarOf[16];
+  for (int8_t &V : VarOf)
+    V = -1;
+  uint8_t Next = 0;
+  bool Ok = true;
+  const auto Var = [&](uint8_t Reg) -> uint8_t {
+    if (Reg >= arm::RegPC) {
+      Ok = false;
+      return 0;
+    }
+    if (VarOf[Reg] < 0) {
+      if (Next >= 8) {
+        Ok = false;
+        return 0;
+      }
+      VarOf[Reg] = static_cast<int8_t>(Next++);
+    }
+    return static_cast<uint8_t>(VarOf[Reg]);
+  };
+
+  TrainStmt S;
+  if (I.isDataProcessing()) {
+    if (I.Op2.RegShift)
+      return false; // register-shifted-by-register: helper territory
+    const bool Imm = I.Op2.IsImm;
+    const bool Shifted = !Imm && (I.Op2.ShiftImm != 0 ||
+                                  I.Op2.Shift != arm::ShiftKind::LSL);
+    S.Op = I.Op;
+    S.SetFlags = I.SetFlags;
+    S.Shift = I.Op2.Shift;
+    S.ShAmt = I.Op2.ShiftImm;
+    switch (I.Op) {
+    case Opcode::MOV:
+      S.D = Var(I.Rd);
+      if (Imm) {
+        S.K = TrainStmt::Kind::MovImm;
+        S.Imm = I.Op2.immValue();
+      } else if (!Shifted) {
+        S.K = TrainStmt::Kind::MovVar;
+        S.A = Var(I.Op2.Rm);
+      } else {
+        S.K = TrainStmt::Kind::MovShift;
+        S.A = Var(I.Op2.Rm);
+      }
+      break;
+    case Opcode::MVN:
+      if (Imm || Shifted)
+        return false;
+      S.K = TrainStmt::Kind::MovNot;
+      S.D = Var(I.Rd);
+      S.A = Var(I.Op2.Rm);
+      break;
+    case Opcode::CMP:
+    case Opcode::CMN:
+    case Opcode::TST:
+    case Opcode::TEQ:
+      S.SetFlags = true;
+      S.A = Var(I.Rn);
+      if (Imm) {
+        S.K = TrainStmt::Kind::CmpImm;
+        S.Imm = I.Op2.immValue();
+      } else if (!Shifted) {
+        S.K = TrainStmt::Kind::Cmp;
+        S.B = Var(I.Op2.Rm);
+      } else {
+        S.K = TrainStmt::Kind::CmpShift;
+        S.B = Var(I.Op2.Rm);
+      }
+      break;
+    case Opcode::RSC:
+      return false; // no host pairing in the toy compiler
+    default: // the two-operand ALU group
+      S.D = Var(I.Rd);
+      S.A = Var(I.Rn);
+      if (Imm) {
+        S.K = TrainStmt::Kind::BinImm;
+        S.Imm = I.Op2.immValue();
+      } else if (!Shifted) {
+        S.K = TrainStmt::Kind::Bin;
+        S.B = Var(I.Op2.Rm);
+      } else {
+        S.K = TrainStmt::Kind::BinShift;
+        S.B = Var(I.Op2.Rm);
+      }
+      break;
+    }
+  } else if (I.Op == Opcode::MUL) {
+    S.K = TrainStmt::Kind::Mul;
+    S.SetFlags = I.SetFlags;
+    S.D = Var(I.Rd);
+    S.A = Var(I.Rm);
+    S.B = Var(I.Rs);
+  } else if (I.Op == Opcode::MLA) {
+    if (I.SetFlags)
+      return false;
+    S.K = TrainStmt::Kind::Mla;
+    S.D = Var(I.Rd);
+    S.A = Var(I.Rm);
+    S.B = Var(I.Rs);
+    S.C = Var(I.Rn);
+  } else {
+    // Long multiplies, CLZ, memory, branches: outside the language.
+    return false;
+  }
+  if (!Ok)
+    return false;
+  Out = S;
+  return true;
 }
 
 std::string rules::describeStatement(const TrainStmt &S) {

@@ -1,0 +1,78 @@
+//===- rules/RuleIo.h - Rule corpus persistence -----------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned text format that closes the paper's offline/online split:
+/// rules learned offline (rules/Learner.h, tools/rdbt_rulegen) are written
+/// to a *rule file* and deployed into any session through the
+/// "rule:file=<path>" translator kind (vm/TranslatorRegistry.h). The
+/// format is line-oriented and diffable — one key=value record per
+/// pattern/template line — and carries provenance (origin, learning
+/// statistics) so a corpus states where it came from.
+///
+/// writeRuleSet() is canonical: every field is emitted, in a fixed order,
+/// so readRuleSet(writeRuleSet(RS)) re-serializes byte-identically. The
+/// CI round-trip job and tests/RuleIoTest.cpp hold this property.
+///
+/// Format sketch (DESIGN.md §8 has the full grammar):
+///
+///   ruledbt-rules v1
+///   origin reference
+///   stats statements=600 verified=412 ...
+///
+///   rule alu_rrr
+///   meta defines-flags=0 verified=1 source-line=-1
+///   class add:add sub:sub ...
+///   distinct 0:2
+///   pat shape=dp-reg s=0 cls=0 rd=0 rn=1 rm=2 ...
+///   tpl op=mov class-op=0 s=0 dst=0 src=1 ...
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_RULES_RULEIO_H
+#define RDBT_RULES_RULEIO_H
+
+#include "rules/Learner.h"
+#include "rules/RuleSet.h"
+
+#include <string>
+
+namespace rdbt {
+namespace rules {
+
+/// The rule-file format version writeRuleSet() emits and readRuleSet()
+/// accepts.
+constexpr unsigned RuleFileVersion = 1;
+
+/// Provenance header of a rule file: where the corpus came from and, for
+/// learned corpora, the learning-run statistics.
+struct RuleFileInfo {
+  std::string Origin; ///< free text, e.g. "reference" or "rdbt_rulegen ..."
+  bool HasStats = false;
+  LearnStats Stats; ///< meaningful only when HasStats
+};
+
+/// Serializes \p RS (in insertion order) to the canonical text form.
+std::string writeRuleSet(const RuleSet &RS, const RuleFileInfo *Info = nullptr);
+
+/// Parses \p Text into \p Out (replacing its contents). Returns false and
+/// sets *Error on malformed input; \p Info, when given, receives the
+/// provenance header.
+bool readRuleSet(const std::string &Text, RuleSet &Out,
+                 std::string *Error = nullptr, RuleFileInfo *Info = nullptr);
+
+/// File convenience wrappers around write/readRuleSet.
+bool writeRuleFile(const std::string &Path, const RuleSet &RS,
+                   const RuleFileInfo *Info = nullptr,
+                   std::string *Error = nullptr);
+bool readRuleFile(const std::string &Path, RuleSet &Out,
+                  std::string *Error = nullptr, RuleFileInfo *Info = nullptr);
+
+} // namespace rules
+} // namespace rdbt
+
+#endif // RDBT_RULES_RULEIO_H

@@ -49,6 +49,14 @@ size_t RuleSet::match(const arm::Inst *Insts, size_t Count,
   return 0;
 }
 
+RuleSet rules::filterRuleSetByShape(const RuleSet &RS, PatShape Drop) {
+  RuleSet Out;
+  for (size_t I = 0; I < RS.size(); ++I)
+    if (RS.rule(I).Guest[0].Shape != Drop)
+      Out.add(RS.rule(I));
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Reference rule set
 //===----------------------------------------------------------------------===//

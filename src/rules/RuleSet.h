@@ -38,6 +38,11 @@ public:
   mutable uint64_t MatchAttempts = 0;
   mutable uint64_t MatchHits = 0;
 
+  /// Zeroes the match statistics. Vm::run() resets before every stint so
+  /// a RuleSet shared across sessions (VmConfig::rules()) reports per-run
+  /// counters instead of cross-run accumulation.
+  void resetStats() const { MatchAttempts = MatchHits = 0; }
+
 private:
   std::vector<Rule> Rules;
   /// Rule indices bucketed by first guest opcode, longest pattern first.
@@ -49,6 +54,11 @@ private:
 /// (Learner.h) regenerates an equivalent set from training programs; the
 /// tests assert the learned set covers this one.
 RuleSet buildReferenceRuleSet();
+
+/// Copies \p RS without the rules whose *leading* guest pattern has shape
+/// \p Drop — the deterministic corpus-thinning knob behind the
+/// mine->learn->reload loop (bench/rulegen_loop, rdbt_rulegen --drop).
+RuleSet filterRuleSetByShape(const RuleSet &RS, PatShape Drop);
 
 } // namespace rules
 } // namespace rdbt

@@ -57,9 +57,21 @@ struct RunReport {
   /// Rule-translator translation statistics (zero for other kinds).
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;
-  /// Rule-set pattern matcher statistics (zero for non-rule kinds).
+  /// Rule-set pattern matcher statistics (zero for non-rule kinds). Vm
+  /// resets the set's counters at the start of every run() stint, so
+  /// these are per-session even when VmConfig::rules() shares one
+  /// RuleSet across sessions.
   uint64_t RuleMatchAttempts = 0;
   uint64_t RuleMatchHits = 0;
+
+  /// Translation-gap profile (profile/GapMiner.h): populated only when
+  /// VmConfig::gapMiner() attached a miner to a rule-translator session.
+  struct ProfileStats {
+    uint64_t GapSeqs = 0; ///< distinct normalized gap sequences
+    uint64_t GapTranslations = 0; ///< translation-time miss observations
+    uint64_t GapExecs = 0; ///< dynamic executions of mined fallbacks
+  };
+  ProfileStats Profile;
 
   // --- Shorthands for the quantities the figures report -------------------
 

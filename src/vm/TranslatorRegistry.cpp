@@ -65,6 +65,16 @@ TranslatorRegistry::TranslatorRegistry() {
     K.Aliases = {"rule"};
     registerKind(std::move(K));
   }
+  {
+    // The deploy end of the offline learning loop: full-opt rule
+    // translation over a corpus loaded from a rule file. Vm resolves the
+    // "=<path>" parameter and supplies the loaded set via Context::Rules,
+    // so the factory is the ordinary rule factory.
+    KindInfo K = ruleKind("rule:file", "rule-file", "rule_file",
+                          core::OptLevel::Scheduling);
+    K.TakesParam = true;
+    registerKind(std::move(K));
+  }
 }
 
 TranslatorRegistry &TranslatorRegistry::global() {
@@ -84,14 +94,25 @@ bool TranslatorRegistry::registerKind(KindInfo Info) {
 
 const TranslatorRegistry::KindInfo *
 TranslatorRegistry::find(const std::string &Name) const {
+  // Parameterized queries resolve through their "<name>=" prefix.
+  const size_t Eq = Name.find('=');
+  const std::string Base =
+      Eq == std::string::npos ? Name : Name.substr(0, Eq);
   for (const KindInfo &K : Kinds) {
-    if (K.Name == Name)
+    if (Eq != std::string::npos && !K.TakesParam)
+      continue;
+    if (K.Name == Base)
       return &K;
     for (const std::string &A : K.Aliases)
-      if (A == Name)
+      if (A == Base)
         return &K;
   }
   return nullptr;
+}
+
+std::string TranslatorRegistry::paramOf(const std::string &Name) {
+  const size_t Eq = Name.find('=');
+  return Eq == std::string::npos ? std::string() : Name.substr(Eq + 1);
 }
 
 std::vector<std::string> TranslatorRegistry::kinds() const {

@@ -22,6 +22,11 @@
 ///   rule:reduction    + §III-B packed CCR
 ///   rule:elimination  + §III-C redundant-sync elimination
 ///   rule:scheduling   + §III-D scheduling (alias: "rule")
+///   rule:file         full-opt rules from a persisted rule file; a
+///                     *parameterized* kind addressed as
+///                     "rule:file=<path>" (Vm loads the file via
+///                     rules/RuleIo.h — the deploy end of the offline
+///                     learning loop)
 ///
 /// A third translator variant becomes one registerKind() call, not an
 /// edit to every driver main().
@@ -65,6 +70,10 @@ public:
     std::vector<std::string> Aliases;
     bool UsesEngine = true; ///< false: interpreter-executed (native)
     bool NeedsRules = false; ///< factory requires Context::Rules
+    /// Parameterized kind: addressed as "<Name>=<param>" (find() matches
+    /// the prefix) and unusable without the parameter — enumeration-style
+    /// drivers (rdbt_scenarios) skip these.
+    bool TakesParam = false;
     Factory Make;           ///< null for interpreter-executed kinds
   };
 
@@ -75,8 +84,12 @@ public:
   /// or an alias collides with an existing entry.
   bool registerKind(KindInfo Info);
 
-  /// Looks a kind up by name or alias; nullptr if unknown.
+  /// Looks a kind up by name or alias; nullptr if unknown. Parameterized
+  /// kinds also resolve from "<name>=<param>" queries.
   const KindInfo *find(const std::string &Name) const;
+
+  /// The "<param>" part of a "<name>=<param>" query ("" when absent).
+  static std::string paramOf(const std::string &Name);
 
   /// Primary kind names in registration order (aliases not repeated).
   std::vector<std::string> kinds() const;

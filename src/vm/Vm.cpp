@@ -9,6 +9,8 @@
 #include "core/RuleTranslator.h"
 #include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
+#include "profile/GapMiner.h"
+#include "rules/RuleIo.h"
 #include "sys/Interpreter.h"
 
 using namespace rdbt;
@@ -50,8 +52,25 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
   if (Cfg.hasOpts())
     Ctx.Opts = &Opts;
   if (Kind_->NeedsRules) {
-    if (!Cfg.rules())
-      OwnedRules_ = rules::buildReferenceRuleSet();
+    if (!Cfg.rules()) {
+      if (Kind_->TakesParam) {
+        // "rule:file=<path>": deploy a persisted corpus.
+        const std::string Path =
+            TranslatorRegistry::paramOf(Cfg.translator());
+        if (Path.empty()) {
+          Error_ = "translator kind '" + Kind_->Name +
+                   "' needs a parameter: " + Kind_->Name + "=<rule-file>";
+          return;
+        }
+        std::string IoErr;
+        if (!rules::readRuleFile(Path, OwnedRules_, &IoErr)) {
+          Error_ = "cannot load rule file: " + IoErr;
+          return;
+        }
+      } else {
+        OwnedRules_ = rules::buildReferenceRuleSet();
+      }
+    }
     Ctx.Rules = Cfg.rules() ? Cfg.rules() : &OwnedRules_;
   }
   Xlat_ = TranslatorRegistry::global().create(Kind_->Name, Ctx);
@@ -59,11 +78,20 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
     Error_ = "translator factory for '" + Kind_->Name + "' failed";
     return;
   }
+  if (Cfg.gapMiner())
+    if (auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get()))
+      Rule->setGapMiner(Cfg.gapMiner());
   Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
   Engine_->setRunawayGuard(Cfg.runawayGuard());
 }
 
 Vm::~Vm() = default;
+
+const rules::RuleSet *Vm::activeRules() const {
+  if (!Kind_ || !Kind_->NeedsRules)
+    return nullptr;
+  return Cfg.rules() ? Cfg.rules() : &OwnedRules_;
+}
 
 RunReport Vm::run() { return run(Cfg.wallBudget()); }
 
@@ -76,6 +104,12 @@ RunReport Vm::run(uint64_t WallBudget) {
   }
   if (!valid())
     return R;
+
+  // Snapshot-and-reset the matcher counters: a RuleSet shared across
+  // sessions (VmConfig::rules()) must report per-session counts, while a
+  // resumed run of *this* session stays cumulative via the Vm-side tally.
+  if (const rules::RuleSet *RS = activeRules())
+    RS->resetStats();
 
   if (!Kind_->UsesEngine) {
     const sys::SystemRunResult Res =
@@ -97,11 +131,17 @@ RunReport Vm::run(uint64_t WallBudget) {
     if (const auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get())) {
       R.RuleCoveredInstrs = Rule->RuleCoveredInstrs;
       R.FallbackInstrs = Rule->FallbackInstrs;
+      if (const profile::GapMiner *Miner = Rule->gapMiner()) {
+        R.Profile.GapSeqs = Miner->distinctGaps();
+        R.Profile.GapTranslations = Miner->missObservations();
+        R.Profile.GapExecs = Miner->gapExecutions();
+      }
     }
-    if (Kind_->NeedsRules) {
-      const rules::RuleSet *RS = Cfg.rules() ? Cfg.rules() : &OwnedRules_;
-      R.RuleMatchAttempts = RS->MatchAttempts;
-      R.RuleMatchHits = RS->MatchHits;
+    if (const rules::RuleSet *RS = activeRules()) {
+      RuleAttempts_ += RS->MatchAttempts;
+      RuleHits_ += RS->MatchHits;
+      R.RuleMatchAttempts = RuleAttempts_;
+      R.RuleMatchHits = RuleHits_;
     }
   }
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;

@@ -53,7 +53,21 @@ VmConfig VmConfig::fromSpec(const std::string &Spec, std::string *Error) {
   if (Error)
     Error->clear();
   std::string Kind = Spec, Workload, ScaleText;
-  const size_t Slash = Spec.find('/');
+  size_t Slash = Spec.find('/');
+  const size_t Eq = Spec.find('=');
+  if (Eq != std::string::npos && Slash != std::string::npos && Eq < Slash) {
+    // Parameterized kind ("rule:file=<path>"): the parameter may contain
+    // '/', so the workload — when present — is the segment after the
+    // *last* '/' and must name a known workload; otherwise the whole
+    // spec is the kind.
+    Slash = Spec.rfind('/');
+    std::string Tail = Spec.substr(Slash + 1);
+    const size_t At = Tail.find('@');
+    if (At != std::string::npos)
+      Tail = Tail.substr(0, At);
+    if (!knownWorkload(Tail))
+      Slash = std::string::npos;
+  }
   if (Slash != std::string::npos) {
     Kind = Spec.substr(0, Slash);
     Workload = Spec.substr(Slash + 1);
@@ -85,7 +99,9 @@ VmConfig VmConfig::fromSpec(const std::string &Spec, std::string *Error) {
   }
 
   VmConfig C;
-  C.translator(K->Name); // canonical name, aliases resolved
+  // Canonical name, aliases resolved; parameterized kinds keep their
+  // "=<param>" payload.
+  C.translator(K->TakesParam ? Kind : K->Name);
   if (!Workload.empty())
     C.workload(Workload);
   C.scale(Scale);

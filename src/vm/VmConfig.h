@@ -21,6 +21,15 @@
 ///   "rule:scheduling/cpu-prime@2"   full-opt rules, cpu-prime, scale 2
 ///   "qemu/mcf"                      baseline translator, scale 1
 ///   "native/hmmer@4"                reference interpreter
+///   "rule:file=learned.rules/mcf"   deploy a learned rule file
+///
+/// Parameterized kinds ("rule:file=<path>") may carry '/' in the path;
+/// the workload is then taken after the *last* '/' when it names a known
+/// workload, so append /<workload> or use a slash-free path in specs.
+/// "@<scale>" always attaches to the workload segment — a bare kind
+/// (parameterized or not) never carries a scale, so in
+/// "rule:file=a.rules@2" the "@2" is part of the file name, exactly as
+/// "qemu@2" is an unknown kind rather than qemu at scale 2.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +44,9 @@
 #include <vector>
 
 namespace rdbt {
+namespace profile {
+class GapMiner;
+}
 namespace vm {
 
 class VmConfig {
@@ -97,6 +109,13 @@ public:
     Rules_ = Rules;
     return *this;
   }
+  /// Attaches a translation-gap miner (caller-owned, must outlive the
+  /// Vm) to rule-translator sessions: rule misses and their dynamic
+  /// weight accumulate in \p Miner and surface as RunReport::Profile.
+  VmConfig &gapMiner(profile::GapMiner *Miner) {
+    Miner_ = Miner;
+    return *this;
+  }
   /// Bypasses the guest kernel: load \p Words at physical \p Base, reset
   /// the env and start executing there (the differential-fuzz setup).
   VmConfig &flatImage(std::vector<uint32_t> Words, uint32_t Base);
@@ -113,6 +132,7 @@ public:
   uint64_t runawayGuard() const { return RunawayGuard_; }
   bool blanketCacheInvalidation() const { return BlanketCacheInvalidation_; }
   const rules::RuleSet *rules() const { return Rules_; }
+  profile::GapMiner *gapMiner() const { return Miner_; }
   bool isFlatImage() const { return UseFlatImage_; }
   const std::vector<uint32_t> &flatImage() const { return FlatImage_; }
   uint32_t flatImageBase() const { return FlatImageBase_; }
@@ -141,6 +161,7 @@ private:
   uint64_t RunawayGuard_ = ~0ull;
   bool BlanketCacheInvalidation_ = false;
   const rules::RuleSet *Rules_ = nullptr;
+  profile::GapMiner *Miner_ = nullptr;
   std::vector<uint32_t> FlatImage_;
   uint32_t FlatImageBase_ = 0;
   bool UseFlatImage_ = false;

@@ -1,0 +1,220 @@
+//===- tests/RuleSetTest.cpp - RuleSet matcher policy tests -----------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Direct coverage for RuleSet::match — previously exercised only
+/// indirectly through the translator suites: longest-pattern-first
+/// selection, insertion-order tie-breaking between equal-length rules,
+/// the ByOpcode bucketing with more than one rule per leading opcode
+/// (including a multi-opcode class registering under every member), the
+/// resetStats() contract, and the shape-filtering corpus thinner.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rules/RuleSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdbt;
+using namespace rdbt::rules;
+using arm::Opcode;
+using host::HOp;
+
+namespace {
+
+/// A one-pattern rule matching "op rd, rn, rm" for every class member.
+Rule rrrRule(const char *Name, std::vector<OpClassEntry> Class) {
+  Rule R;
+  R.Name = Name;
+  R.Classes = {std::move(Class)};
+  RulePattern P;
+  P.Shape = PatShape::DpReg;
+  P.Rd = 0;
+  P.Rn = 1;
+  P.Rm = 2;
+  R.Guest = {P};
+  HostTemplateOp T;
+  T.UseClassHostOp = true;
+  T.Dst = 0;
+  T.Src = 2;
+  R.Host = {T};
+  return R;
+}
+
+/// Extends \p Base with a second guest pattern (same shape, fresh
+/// parameters) so the rule consumes two instructions.
+Rule twoInstRule(const char *Name, std::vector<OpClassEntry> First,
+                 std::vector<OpClassEntry> Second) {
+  Rule R = rrrRule(Name, std::move(First));
+  R.Name = Name;
+  R.Classes.push_back(std::move(Second));
+  RulePattern P;
+  P.Shape = PatShape::DpReg;
+  P.ClassIdx = 1;
+  P.Rd = 3;
+  P.Rn = 4;
+  P.Rm = 5;
+  R.Guest.push_back(P);
+  return R;
+}
+
+arm::Inst rrr(Opcode Op, uint8_t Rd, uint8_t Rn, uint8_t Rm) {
+  arm::Inst I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rn = Rn;
+  I.Op2 = arm::Operand2::reg(Rm);
+  return I;
+}
+
+TEST(RuleSetMatch, LongestPatternWinsRegardlessOfInsertionOrder) {
+  RuleSet RS;
+  // The generic one-instruction rule is added FIRST; the two-instruction
+  // rule added later must still be preferred when it matches.
+  RS.add(rrrRule("short", {{Opcode::ADD, HOp::Add}}));
+  RS.add(twoInstRule("long", {{Opcode::ADD, HOp::Add}},
+                     {{Opcode::SUB, HOp::Sub}}));
+
+  const arm::Inst Seq[2] = {rrr(Opcode::ADD, 0, 1, 2),
+                            rrr(Opcode::SUB, 3, 4, 5)};
+  const Rule *Matched = nullptr;
+  Binding B;
+  EXPECT_EQ(RS.match(Seq, 2, &Matched, B), 2u);
+  ASSERT_TRUE(Matched != nullptr);
+  EXPECT_EQ(Matched->Name, "long");
+
+  // With only one instruction of lookahead the long rule cannot match
+  // and the short one takes over.
+  Matched = nullptr;
+  EXPECT_EQ(RS.match(Seq, 1, &Matched, B), 1u);
+  ASSERT_TRUE(Matched != nullptr);
+  EXPECT_EQ(Matched->Name, "short");
+
+  // A sequence whose second instruction breaks the long pattern falls
+  // back to the short rule too.
+  const arm::Inst Broken[2] = {rrr(Opcode::ADD, 0, 1, 2),
+                               rrr(Opcode::ADD, 3, 4, 5)};
+  Matched = nullptr;
+  EXPECT_EQ(RS.match(Broken, 2, &Matched, B), 1u);
+  ASSERT_TRUE(Matched != nullptr);
+  EXPECT_EQ(Matched->Name, "short");
+}
+
+TEST(RuleSetMatch, InsertionOrderBreaksTiesBetweenEqualLengths) {
+  RuleSet RS;
+  RS.add(rrrRule("first", {{Opcode::ADD, HOp::Add}}));
+  RS.add(rrrRule("second", {{Opcode::ADD, HOp::Add}}));
+
+  const arm::Inst I = rrr(Opcode::ADD, 0, 1, 2);
+  const Rule *Matched = nullptr;
+  Binding B;
+  EXPECT_EQ(RS.match(&I, 1, &Matched, B), 1u);
+  ASSERT_TRUE(Matched != nullptr);
+  EXPECT_EQ(Matched->Name, "first")
+      << "equal-length rules must match in insertion order (specific "
+         "before generic)";
+}
+
+TEST(RuleSetMatch, ConstrainedRuleFallsThroughToLaterRule) {
+  // The reference corpus's pattern: a constrained rule first (rd != rm),
+  // then the generic aliased fallback. The matcher must try the second
+  // bucket entry when the first rejects the binding.
+  RuleSet RS;
+  Rule Constrained = rrrRule("constrained", {{Opcode::SUB, HOp::Sub}});
+  Constrained.Distinct = {{0, 2}};
+  RS.add(Constrained);
+  RS.add(rrrRule("fallback", {{Opcode::SUB, HOp::Sub}}));
+
+  const Rule *Matched = nullptr;
+  Binding B;
+  const arm::Inst Clean = rrr(Opcode::SUB, 0, 1, 2);
+  EXPECT_EQ(RS.match(&Clean, 1, &Matched, B), 1u);
+  EXPECT_EQ(Matched->Name, "constrained");
+
+  const arm::Inst Aliased = rrr(Opcode::SUB, 0, 1, 0); // rd == rm
+  Matched = nullptr;
+  EXPECT_EQ(RS.match(&Aliased, 1, &Matched, B), 1u);
+  ASSERT_TRUE(Matched != nullptr);
+  EXPECT_EQ(Matched->Name, "fallback");
+}
+
+TEST(RuleSetMatch, ClassRuleRegistersUnderEveryMemberOpcode) {
+  RuleSet RS;
+  RS.add(rrrRule("alu", {{Opcode::ADD, HOp::Add},
+                         {Opcode::SUB, HOp::Sub},
+                         {Opcode::EOR, HOp::Xor}}));
+  // A second, ADD-only rule shares the ADD bucket (> 1 rule per leading
+  // opcode) without leaking into the SUB/EOR buckets.
+  RS.add(rrrRule("add_only", {{Opcode::ADD, HOp::Add}}));
+
+  const Rule *Matched = nullptr;
+  Binding B;
+  for (const Opcode Op : {Opcode::ADD, Opcode::SUB, Opcode::EOR}) {
+    const arm::Inst I = rrr(Op, 0, 1, 2);
+    Matched = nullptr;
+    EXPECT_EQ(RS.match(&I, 1, &Matched, B), 1u) << "opcode " << (int)Op;
+    ASSERT_TRUE(Matched != nullptr);
+    EXPECT_EQ(Matched->Name, "alu");
+  }
+  // The matched class entry selects the per-opcode host op.
+  const arm::Inst Sub = rrr(Opcode::SUB, 0, 1, 2);
+  EXPECT_EQ(RS.match(&Sub, 1, &Matched, B), 1u);
+  EXPECT_EQ(B.ClassEntry, 1u) << "SUB is class entry 1 of the alu rule";
+
+  // An opcode outside every class never matches.
+  const arm::Inst Orr = rrr(Opcode::ORR, 0, 1, 2);
+  EXPECT_EQ(RS.match(&Orr, 1, &Matched, B), 0u);
+}
+
+TEST(RuleSetMatch, StatsCountAttemptsAndHitsAndReset) {
+  RuleSet RS;
+  RS.add(rrrRule("add", {{Opcode::ADD, HOp::Add}}));
+
+  const Rule *Matched = nullptr;
+  Binding B;
+  const arm::Inst Hit = rrr(Opcode::ADD, 0, 1, 2);
+  const arm::Inst Miss = rrr(Opcode::ORR, 0, 1, 2);
+  RS.match(&Hit, 1, &Matched, B);
+  RS.match(&Miss, 1, &Matched, B);
+  RS.match(&Hit, 1, &Matched, B);
+  EXPECT_EQ(RS.MatchAttempts, 3u);
+  EXPECT_EQ(RS.MatchHits, 2u);
+
+  RS.resetStats();
+  EXPECT_EQ(RS.MatchAttempts, 0u);
+  EXPECT_EQ(RS.MatchHits, 0u);
+  RS.match(&Hit, 1, &Matched, B);
+  EXPECT_EQ(RS.MatchAttempts, 1u);
+  EXPECT_EQ(RS.MatchHits, 1u);
+}
+
+TEST(RuleSetFilter, DropsExactlyTheSelectedShape) {
+  const RuleSet Ref = buildReferenceRuleSet();
+  const RuleSet Thinned =
+      filterRuleSetByShape(Ref, PatShape::DpRegShiftImm);
+
+  size_t ShiftRules = 0;
+  for (size_t I = 0; I < Ref.size(); ++I)
+    if (Ref.rule(I).Guest[0].Shape == PatShape::DpRegShiftImm)
+      ++ShiftRules;
+  EXPECT_GT(ShiftRules, 0u) << "reference corpus must contain shift rules";
+  EXPECT_EQ(Thinned.size(), Ref.size() - ShiftRules);
+  for (size_t I = 0; I < Thinned.size(); ++I)
+    EXPECT_NE(static_cast<int>(Thinned.rule(I).Guest[0].Shape),
+              static_cast<int>(PatShape::DpRegShiftImm));
+
+  // The thinned set no longer matches a shifted-operand instruction.
+  arm::Inst I;
+  I.Op = Opcode::ADD;
+  I.Rd = 0;
+  I.Rn = 1;
+  I.Op2 = arm::Operand2::shiftedReg(2, arm::ShiftKind::LSL, 3);
+  const Rule *Matched = nullptr;
+  Binding B;
+  EXPECT_NE(Ref.match(&I, 1, &Matched, B), 0u);
+  EXPECT_EQ(Thinned.match(&I, 1, &Matched, B), 0u);
+}
+
+} // namespace

@@ -65,6 +65,34 @@ TEST(VmConfig, SpecRoundTrips) {
   }
 }
 
+TEST(VmConfig, FromSpecParsesParameterizedKinds) {
+  // The parameter keeps its "=<path>" payload through the round trip.
+  std::string Err;
+  const vm::VmConfig C =
+      vm::VmConfig::fromSpec("rule:file=learned.rules/cpu-prime@2", &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(C.translator(), "rule:file=learned.rules");
+  EXPECT_EQ(C.workload(), "cpu-prime");
+  EXPECT_EQ(C.scale(), 2u);
+  EXPECT_EQ(C.toSpec(), "rule:file=learned.rules/cpu-prime@2");
+
+  // A path may contain '/': the workload is taken after the last '/'
+  // when it names a known workload, else the whole spec is the kind.
+  const vm::VmConfig D =
+      vm::VmConfig::fromSpec("rule:file=out/dir/a.rules/mcf", &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(D.translator(), "rule:file=out/dir/a.rules");
+  EXPECT_EQ(D.workload(), "mcf");
+
+  const vm::VmConfig Bare = vm::VmConfig::fromSpec("rule:file=a.rules");
+  EXPECT_EQ(Bare.translator(), "rule:file=a.rules");
+  EXPECT_TRUE(Bare.workload().empty());
+
+  // '=' on a non-parameterized kind (including the "rule" alias) fails.
+  vm::VmConfig::fromSpec("rule=x/mcf", &Err);
+  EXPECT_NE(Err.find("unknown translator kind"), std::string::npos) << Err;
+}
+
 TEST(VmConfig, FromSpecRejectsGarbage) {
   std::string Err;
   vm::VmConfig::fromSpec("tcg/mcf", &Err);
@@ -123,6 +151,28 @@ TEST(TranslatorRegistry, FactoriesConstructTranslators) {
   EXPECT_TRUE(Reg.create("native", Ctx) == nullptr);
 
   EXPECT_TRUE(Reg.create("no-such-kind", Ctx) == nullptr);
+}
+
+TEST(TranslatorRegistry, ParameterizedKindResolvesWithAndWithoutParam) {
+  vm::TranslatorRegistry &Reg = vm::TranslatorRegistry::global();
+  const auto *Plain = Reg.find("rule:file");
+  ASSERT_TRUE(Plain != nullptr);
+  EXPECT_TRUE(Plain->TakesParam);
+  EXPECT_TRUE(Plain->NeedsRules);
+  EXPECT_EQ(Plain->MetricKey, "rule_file");
+  EXPECT_EQ(Reg.find("rule:file=some/path.rules"), Plain)
+      << "parameterized queries resolve through the prefix";
+  EXPECT_TRUE(Reg.find("nosuch=param") == nullptr);
+  EXPECT_EQ(vm::TranslatorRegistry::paramOf("rule:file=a/b.rules"),
+            "a/b.rules");
+  EXPECT_EQ(vm::TranslatorRegistry::paramOf("rule:file"), "");
+
+  // The factory behaves like any rule kind once Context::Rules is given.
+  vm::TranslatorRegistry::Context Ctx;
+  EXPECT_TRUE(Reg.create("rule:file", Ctx) == nullptr);
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  Ctx.Rules = &RS;
+  EXPECT_TRUE(Reg.create("rule:file", Ctx) != nullptr);
 }
 
 TEST(TranslatorRegistry, RejectsNameCollisions) {
@@ -190,6 +240,44 @@ TEST(Vm, MatchesHandAssembledEngineStack) {
   EXPECT_EQ(R.Spec, "rule:scheduling/libquantum");
   EXPECT_EQ(R.Label, "+scheduling");
   EXPECT_EQ(R.MetricKey, "full_opt");
+}
+
+TEST(Vm, SharedRuleSetReportsPerSessionMatchCounters) {
+  // One RuleSet across two sessions: the second session's report must
+  // not accumulate the first one's matcher counters (Vm::run snapshots
+  // and resets the shared set's statistics).
+  const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  const auto Run = [&RS] {
+    vm::Vm V(vm::VmConfig()
+                 .workload("cpu-prime")
+                 .translator("rule:scheduling")
+                 .rules(&RS));
+    EXPECT_TRUE(V.valid()) << V.error();
+    return V.run();
+  };
+  const vm::RunReport A = Run();
+  const vm::RunReport B = Run();
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_GT(A.RuleMatchAttempts, 0u);
+  EXPECT_EQ(B.RuleMatchAttempts, A.RuleMatchAttempts)
+      << "identical sessions must report identical per-session counters";
+  EXPECT_EQ(B.RuleMatchHits, A.RuleMatchHits);
+
+  // A resumed session stays cumulative across its own stints.
+  vm::Vm V(vm::VmConfig()
+               .workload("cpu-prime")
+               .translator("rule:scheduling")
+               .rules(&RS)
+               .wallBudget(200 * 1000));
+  ASSERT_TRUE(V.valid()) << V.error();
+  const vm::RunReport First = V.run();
+  ASSERT_EQ(First.Stop, dbt::StopReason::WallLimit);
+  const vm::RunReport Resumed = V.run(400ull * 1000 * 1000 * 1000);
+  EXPECT_TRUE(Resumed.Ok);
+  EXPECT_GE(Resumed.RuleMatchAttempts, First.RuleMatchAttempts);
+  EXPECT_EQ(Resumed.RuleMatchAttempts, A.RuleMatchAttempts)
+      << "stint deltas must sum to the whole-session total";
 }
 
 TEST(Vm, NativeExecutorMatchesInterpreter) {

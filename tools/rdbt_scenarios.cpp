@@ -4,12 +4,19 @@
 // registry knows, prints a one-line report per scenario, and checks the
 // invariant the whole evaluation rests on: every executor produces the
 // same guest console output and stops with a clean guest shutdown.
+// Parameterized kinds (rule:file=<path>) need an argument and are skipped.
 //
-// Usage: rdbt_scenarios [workload] [scale]     (default: libquantum 1)
-//        rdbt_scenarios --list                 list workloads and kinds
+// Usage: rdbt_scenarios [--json] [workload] [scale]  (default: libquantum 1)
+//        rdbt_scenarios --list                       list workloads and kinds
+//
+// --json emits every RunReport through the bench/BenchCommon.h recorder
+// to BENCH_scenarios.json (honoring the RDBT_BENCH_JSON output directory,
+// defaulting to the current one), so CI and scripts consume scenario
+// results without scraping stdout.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "guestsw/Workloads.h"
 #include "vm/Vm.h"
 
@@ -20,23 +27,45 @@
 using namespace rdbt;
 
 int main(int argc, char **argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
-    std::printf("workloads:\n");
-    for (const auto &W : guestsw::workloads())
-      std::printf("  %-12s %-10s %s\n", W.Name,
-                  W.IsSpecProxy   ? "[spec]"
-                  : W.IsRealWorld ? "[realworld]"
-                                  : "[system]",
-                  W.Sketch);
-    std::printf("\ntranslator kinds:\n");
-    for (const std::string &K : vm::TranslatorRegistry::global().kinds())
-      std::printf("  %s\n", K.c_str());
-    return 0;
+  bool Json = false;
+  const char *Workload = nullptr;
+  uint32_t Scale = 1;
+  bool HaveScale = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--list") == 0) {
+      std::printf("workloads:\n");
+      for (const auto &W : guestsw::workloads())
+        std::printf("  %-12s %-10s %s\n", W.Name,
+                    W.IsSpecProxy   ? "[spec]"
+                    : W.IsRealWorld ? "[realworld]"
+                                    : "[system]",
+                    W.Sketch);
+      std::printf("\ntranslator kinds:\n");
+      for (const std::string &K : vm::TranslatorRegistry::global().kinds()) {
+        const auto *Info = vm::TranslatorRegistry::global().find(K);
+        std::printf("  %s%s\n", K.c_str(),
+                    Info && Info->TakesParam ? "=<param>" : "");
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+      continue;
+    }
+    if (!Workload) {
+      Workload = argv[I];
+      continue;
+    }
+    if (!HaveScale) {
+      Scale = static_cast<uint32_t>(std::atoi(argv[I]));
+      HaveScale = true;
+      continue;
+    }
+    std::fprintf(stderr, "unexpected argument '%s'\n", argv[I]);
+    return 2;
   }
-
-  const char *Workload = argc > 1 ? argv[1] : "libquantum";
-  const uint32_t Scale =
-      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 1;
+  if (!Workload)
+    Workload = "libquantum";
 
   std::printf("scenario smoke: '%s' @ scale %u under every registered "
               "translator kind\n\n", Workload, Scale);
@@ -47,6 +76,9 @@ int main(int argc, char **argv) {
   bool HaveRef = false;
   int Failures = 0;
   for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const auto *Info = vm::TranslatorRegistry::global().find(Kind);
+    if (Info && Info->TakesParam)
+      continue; // unusable without an argument (e.g. rule:file=<path>)
     const std::string Spec =
         Kind + "/" + Workload + "@" + std::to_string(Scale);
     std::string Err;
@@ -57,6 +89,9 @@ int main(int argc, char **argv) {
       return 1;
     }
     const vm::RunReport R = V.run();
+    if (Json)
+      bench::JsonRecorder::get().Runs.push_back(
+          {Workload, R.Label, bench::fromReport(R, Info->UsesEngine)});
     std::printf("%-28s %-14s %12llu %14llu %10.2f\n", R.Spec.c_str(),
                 R.stopName(),
                 static_cast<unsigned long long>(R.guestInstrs()),
@@ -76,6 +111,14 @@ int main(int argc, char **argv) {
                            "executor\n", R.Spec.c_str());
       ++Failures;
     }
+  }
+
+  if (Json) {
+    // The recorder only writes when RDBT_BENCH_JSON is set; an explicit
+    // --json defaults the output directory to the current one.
+    if (!std::getenv("RDBT_BENCH_JSON"))
+      setenv("RDBT_BENCH_JSON", "1", /*overwrite=*/0);
+    bench::writeBenchJson("scenarios");
   }
 
   if (Failures) {
