@@ -28,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,10 @@ struct RunStats {
   uint64_t LiveTbs = 0;
   uint64_t Retranslations = 0;
   uint64_t RetranslatedGuestInstrs = 0;
-  // Rule-set pattern matcher statistics (zero for non-rule kinds).
+  // Rule-translator coverage and pattern matcher statistics (zero for
+  // non-rule kinds).
+  uint64_t RuleCoveredInstrs = 0;
+  uint64_t FallbackInstrs = 0;
   uint64_t RuleMatchAttempts = 0;
   uint64_t RuleMatchHits = 0;
   // Translation-gap profile (zero unless a GapMiner was attached).
@@ -140,6 +144,8 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.LiveTbs = R.Cache.LiveTbs;
   S.Retranslations = R.Cache.Retranslations;
   S.RetranslatedGuestInstrs = R.Cache.RetranslatedGuestInstrs;
+  S.RuleCoveredInstrs = R.RuleCoveredInstrs;
+  S.FallbackInstrs = R.FallbackInstrs;
   S.RuleMatchAttempts = R.RuleMatchAttempts;
   S.RuleMatchHits = R.RuleMatchHits;
   S.GapSeqs = R.Profile.GapSeqs;
@@ -212,6 +218,62 @@ inline std::string jsonEscape(const std::string &In) {
   return Out;
 }
 
+/// Emits the canonical RunStats counter fields (the key set every
+/// BENCH_*.json run record and BENCH_matrix.json cell shares) — integer
+/// counters only, in a fixed order, so two emissions of equal stats are
+/// byte-identical.
+template <typename Stream>
+inline void writeRunStatsFields(Stream &OS, const RunStats &S) {
+  OS << "\"ok\": " << (S.Ok ? "true" : "false") << ", \"wall\": " << S.Wall
+     << ", \"guest_instrs\": " << S.GuestInstrs
+     << ", \"mem_instrs\": " << S.MemInstrs
+     << ", \"sys_instrs\": " << S.SysInstrs
+     << ", \"irq_checks\": " << S.IrqChecks
+     << ", \"sync_instrs\": " << S.SyncInstrs
+     << ", \"sync_ops\": " << S.SyncOps
+     << ", \"host_instrs\": " << S.HostInstrs
+     << ", \"cache_flushes\": " << S.CacheFlushes
+     << ", \"tbs_invalidated\": " << S.TbsInvalidated
+     << ", \"tbs_retained\": " << S.TbsRetained
+     << ", \"live_tbs\": " << S.LiveTbs
+     << ", \"retranslations\": " << S.Retranslations
+     << ", \"retranslated_guest_instrs\": " << S.RetranslatedGuestInstrs
+     << ", \"rule_covered_instrs\": " << S.RuleCoveredInstrs
+     << ", \"fallback_instrs\": " << S.FallbackInstrs
+     << ", \"rule_match_attempts\": " << S.RuleMatchAttempts
+     << ", \"rule_match_hits\": " << S.RuleMatchHits
+     << ", \"gap_seqs\": " << S.GapSeqs
+     << ", \"gap_translations\": " << S.GapTranslations
+     << ", \"gap_execs\": " << S.GapExecs;
+}
+
+/// One cell of a scenario matrix: a stable "<kind>/<workload>@<scale>"
+/// key and the measured counters.
+struct MatrixCell {
+  std::string Key;
+  RunStats S;
+};
+
+/// Serializes a scenario matrix to the BENCH_matrix.json document the
+/// perf-regression gate (tools/rdbt_perfgate) diffs: cells in submission
+/// order under "matrix", integer counters only. Byte-identical for equal
+/// inputs, so a parallel matrix run reproduces the serial document
+/// exactly (vm/BatchRunner.h).
+inline std::string formatMatrixJson(const std::vector<MatrixCell> &Cells,
+                                    uint32_t Scale) {
+  std::ostringstream OS;
+  OS << "{\n  \"bench\": \"matrix\",\n  \"scale\": " << Scale
+     << ",\n  \"matrix\": {";
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    OS << (I ? ",\n" : "\n") << "    \"" << jsonEscape(Cells[I].Key)
+       << "\": {";
+    writeRunStatsFields(OS, Cells[I].S);
+    OS << "}";
+  }
+  OS << "\n  }\n}\n";
+  return OS.str();
+}
+
 /// Writes BENCH_<BenchName>.json when RDBT_BENCH_JSON is set; no-op
 /// otherwise. Call once at the end of each bench binary's main().
 inline void writeBenchJson(const char *BenchName) {
@@ -233,27 +295,9 @@ inline void writeBenchJson(const char *BenchName) {
     const JsonRecorder::Run &Run = R.Runs[I];
     OS << (I ? ",\n" : "\n") << "    {\"workload\": \""
        << jsonEscape(Run.Workload) << "\", \"config\": \""
-       << jsonEscape(Run.Config) << "\", \"ok\": "
-       << (Run.S.Ok ? "true" : "false") << ", \"wall\": " << Run.S.Wall
-       << ", \"guest_instrs\": " << Run.S.GuestInstrs
-       << ", \"mem_instrs\": " << Run.S.MemInstrs
-       << ", \"sys_instrs\": " << Run.S.SysInstrs
-       << ", \"irq_checks\": " << Run.S.IrqChecks
-       << ", \"sync_instrs\": " << Run.S.SyncInstrs
-       << ", \"sync_ops\": " << Run.S.SyncOps
-       << ", \"host_instrs\": " << Run.S.HostInstrs
-       << ", \"cache_flushes\": " << Run.S.CacheFlushes
-       << ", \"tbs_invalidated\": " << Run.S.TbsInvalidated
-       << ", \"tbs_retained\": " << Run.S.TbsRetained
-       << ", \"live_tbs\": " << Run.S.LiveTbs
-       << ", \"retranslations\": " << Run.S.Retranslations
-       << ", \"retranslated_guest_instrs\": "
-       << Run.S.RetranslatedGuestInstrs
-       << ", \"rule_match_attempts\": " << Run.S.RuleMatchAttempts
-       << ", \"rule_match_hits\": " << Run.S.RuleMatchHits
-       << ", \"gap_seqs\": " << Run.S.GapSeqs
-       << ", \"gap_translations\": " << Run.S.GapTranslations
-       << ", \"gap_execs\": " << Run.S.GapExecs << "}";
+       << jsonEscape(Run.Config) << "\", ";
+    writeRunStatsFields(OS, Run.S);
+    OS << "}";
   }
   OS << "\n  ],\n  \"metrics\": [";
   for (size_t I = 0; I < R.Metrics.size(); ++I) {

@@ -41,8 +41,10 @@ bool isClobberPoint(const Inst &I) {
   return I.isMemAccess() || I.isSystemLevel() || !I.isValid();
 }
 
-/// Whether the instruction needs the emulate-helper fallback.
-bool needsHelper(const Inst &I, const rules::RuleSet &RS) {
+/// Whether the instruction needs the emulate-helper fallback. The probe
+/// counts into \p Stats like every other match attempt.
+bool needsHelper(const Inst &I, const rules::RuleSet &RS,
+                 rules::MatchStats *Stats) {
   if (!I.isValid() || I.isSystemLevel())
     return true;
   if (I.isMemAccess() || I.isDirectBranch() || I.Op == Opcode::BX ||
@@ -50,7 +52,7 @@ bool needsHelper(const Inst &I, const rules::RuleSet &RS) {
     return false; // handled structurally
   rules::Binding B;
   const rules::Rule *R = nullptr;
-  return RS.match(&I, 1, &R, B) == 0;
+  return RS.match(&I, 1, &R, B, Stats) == 0;
 }
 
 /// Emits one guest block with coordination state tracking.
@@ -348,7 +350,7 @@ void BlockEmitter::schedule() {
     for (size_t I = 0; I + 1 < Order.size(); ++I) {
       const Inst &D = Order[I];
       if (!D.definesFlags() || D.C != Cond::AL || isClobberPoint(D) ||
-          D.endsBlock() || needsHelper(D, Rules))
+          D.endsBlock() || needsHelper(D, Rules, &Stats.Matches))
         continue;
       // Find the first flag use; give up at a redefinition.
       size_t UseAt = 0;
@@ -423,7 +425,7 @@ void BlockEmitter::emitRuleApp(size_t &Idx) {
   rules::Binding B;
   const rules::Rule *R = nullptr;
   const size_t Consumed =
-      Rules.match(&Order[Idx], Order.size() - Idx, &R, B);
+      Rules.match(&Order[Idx], Order.size() - Idx, &R, B, &Stats.Matches);
   if (Consumed == 0) {
     emitFallback(I, Pc);
     ++Idx;
@@ -745,7 +747,8 @@ void BlockEmitter::emitInstr(size_t &Idx) {
     ++Idx;
     return;
   }
-  if (!I.isValid() || I.isSystemLevel() || needsHelper(I, Rules)) {
+  if (!I.isValid() || I.isSystemLevel() ||
+      needsHelper(I, Rules, &Stats.Matches)) {
     // A valid computation instruction falling back here is a *rule miss*
     // — the raw material of the offline learning loop.
     if (I.isValid() && !I.isSystemLevel() && Stats.gapMiner())

@@ -110,6 +110,11 @@ public:
   uint64_t FallbackInstrs = 0;
   uint64_t ScheduledDefUseMoves = 0;
   uint64_t ScheduledIrqChecks = 0;
+  /// This session's pattern-matcher counters. Owned here, not by the
+  /// RuleSet: the set stays immutable during matching, so one corpus can
+  /// be shared read-only across concurrent sessions (vm/BatchRunner.h)
+  /// and each session still reports exact per-session counts.
+  rules::MatchStats Matches;
 
 private:
   const rules::RuleSet &Rules;

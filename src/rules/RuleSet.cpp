@@ -33,8 +33,10 @@ void RuleSet::add(Rule R) {
 }
 
 size_t RuleSet::match(const arm::Inst *Insts, size_t Count,
-                      const Rule **MatchedRule, Binding &B) const {
-  ++MatchAttempts;
+                      const Rule **MatchedRule, Binding &B,
+                      MatchStats *Stats) const {
+  if (Stats)
+    ++Stats->Attempts;
   if (Count == 0 || !Insts[0].isValid())
     return 0;
   const auto &Bucket = ByOpcode[static_cast<size_t>(Insts[0].Op)];
@@ -42,7 +44,8 @@ size_t RuleSet::match(const arm::Inst *Insts, size_t Count,
     const Rule &R = Rules[Idx];
     if (matchRule(R, Insts, Count, B)) {
       *MatchedRule = &R;
-      ++MatchHits;
+      if (Stats)
+        ++Stats->Hits;
       return R.Guest.size();
     }
   }

@@ -9,6 +9,11 @@
 /// are tried longest-pattern first, then in insertion order (specific
 /// before generic), exactly like the rule-application phase of §II-A.
 ///
+/// Matching is const and carries no hidden state: dynamic match counters
+/// live in a caller-owned MatchStats, never in the set itself, so one
+/// immutable corpus can be shared read-only across concurrent sessions
+/// (vm/BatchRunner.h) without any cross-session counter bleed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDBT_RULES_RULESET_H
@@ -21,27 +26,29 @@
 namespace rdbt {
 namespace rules {
 
+/// Per-session dynamic match statistics. Each matching client (one
+/// core::RuleTranslator session, a learner sweep, ...) owns its own
+/// instance and passes it to RuleSet::match — the set itself stays
+/// immutable during matching, which is what makes sharing one corpus
+/// across worker threads safe.
+struct MatchStats {
+  uint64_t Attempts = 0; ///< match() calls
+  uint64_t Hits = 0;     ///< calls that selected a rule
+};
+
 class RuleSet {
 public:
   void add(Rule R);
 
   /// Finds the best rule matching the instruction sequence. Returns the
   /// number of guest instructions consumed (0 = no match) and fills
-  /// \p MatchedRule / \p B.
+  /// \p MatchedRule / \p B. \p Stats, when given, accumulates the
+  /// caller's attempt/hit counters; the set itself is never mutated.
   size_t match(const arm::Inst *Insts, size_t Count, const Rule **MatchedRule,
-               Binding &B) const;
+               Binding &B, MatchStats *Stats = nullptr) const;
 
   size_t size() const { return Rules.size(); }
   const Rule &rule(size_t I) const { return Rules[I]; }
-
-  /// Dynamic match statistics (collected by the translator).
-  mutable uint64_t MatchAttempts = 0;
-  mutable uint64_t MatchHits = 0;
-
-  /// Zeroes the match statistics. Vm::run() resets before every stint so
-  /// a RuleSet shared across sessions (VmConfig::rules()) reports per-run
-  /// counters instead of cross-run accumulation.
-  void resetStats() const { MatchAttempts = MatchHits = 0; }
 
 private:
   std::vector<Rule> Rules;

@@ -109,7 +109,9 @@ void sys::switchMode(CpuEnv &Env, uint32_t NewMode) {
 }
 
 uint32_t &sys::currentSpsr(CpuEnv &Env) {
-  static uint32_t Dummy = 0;
+  // thread_local, not static: concurrent sessions (vm/BatchRunner.h)
+  // would otherwise race on the shared sink.
+  thread_local uint32_t Dummy = 0;
   switch (Env.Mode) {
   case ModeSvc:
     return Env.SpsrSvc;

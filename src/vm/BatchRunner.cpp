@@ -1,0 +1,59 @@
+//===- vm/BatchRunner.cpp - Worker-pool executor for Vm sessions -----------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BatchRunner.h"
+
+#include "vm/Vm.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace rdbt;
+using namespace rdbt::vm;
+
+unsigned BatchRunner::hardwareJobs() {
+  const unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+std::vector<RunReport> BatchRunner::run(
+    const std::vector<VmConfig> &Configs) const {
+  std::vector<RunReport> Reports(Configs.size());
+  if (Configs.empty())
+    return Reports;
+
+  // Touch the registry before any worker does: find() is a pure read,
+  // but the one-time construction of the global instance should not be
+  // the first thing the pool races on.
+  (void)TranslatorRegistry::global();
+
+  // Work stealing off a shared index; each claimed config runs to
+  // completion on the claiming worker and lands in its submission slot.
+  // Workers touch disjoint Reports elements, so no lock is needed.
+  std::atomic<size_t> Next{0};
+  const auto Work = [&Configs, &Reports, &Next] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Configs.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      Vm V(Configs[I]);
+      Reports[I] = V.run();
+    }
+  };
+
+  const size_t NumWorkers =
+      std::min<size_t>(Jobs_, Configs.size());
+  if (NumWorkers <= 1) {
+    Work(); // inline: the jobs=1 reference schedule
+    return Reports;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (size_t T = 0; T < NumWorkers; ++T)
+    Pool.emplace_back(Work);
+  for (std::thread &T : Pool)
+    T.join();
+  return Reports;
+}

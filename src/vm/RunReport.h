@@ -33,6 +33,11 @@ struct RunReport {
   dbt::StopReason Stop = dbt::StopReason::WallLimit;
   bool Ok = false;
 
+  /// Non-empty when the session never ran (unknown kind/workload, corpus
+  /// load failure, ...). Batch drivers surface this per matrix cell
+  /// instead of aborting the whole sweep.
+  std::string Error;
+
   /// The scenario that produced this report (VmConfig::toSpec()) plus
   /// the translator kind's table label and identifier-safe metric key.
   std::string Spec;
@@ -57,10 +62,11 @@ struct RunReport {
   /// Rule-translator translation statistics (zero for other kinds).
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;
-  /// Rule-set pattern matcher statistics (zero for non-rule kinds). Vm
-  /// resets the set's counters at the start of every run() stint, so
-  /// these are per-session even when VmConfig::rules() shares one
-  /// RuleSet across sessions.
+  /// Rule-set pattern matcher statistics (zero for non-rule kinds).
+  /// Counted per session by the session's translator
+  /// (core::RuleTranslator::Matches), so they stay exact even when
+  /// VmConfig::rules() shares one immutable RuleSet across concurrent
+  /// sessions.
   uint64_t RuleMatchAttempts = 0;
   uint64_t RuleMatchHits = 0;
 

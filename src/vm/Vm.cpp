@@ -87,12 +87,6 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
 
 Vm::~Vm() = default;
 
-const rules::RuleSet *Vm::activeRules() const {
-  if (!Kind_ || !Kind_->NeedsRules)
-    return nullptr;
-  return Cfg.rules() ? Cfg.rules() : &OwnedRules_;
-}
-
 RunReport Vm::run() { return run(Cfg.wallBudget()); }
 
 RunReport Vm::run(uint64_t WallBudget) {
@@ -102,14 +96,10 @@ RunReport Vm::run(uint64_t WallBudget) {
     R.Label = Kind_->Label;
     R.MetricKey = Kind_->MetricKey;
   }
-  if (!valid())
+  if (!valid()) {
+    R.Error = Error_;
     return R;
-
-  // Snapshot-and-reset the matcher counters: a RuleSet shared across
-  // sessions (VmConfig::rules()) must report per-session counts, while a
-  // resumed run of *this* session stays cumulative via the Vm-side tally.
-  if (const rules::RuleSet *RS = activeRules())
-    RS->resetStats();
+  }
 
   if (!Kind_->UsesEngine) {
     const sys::SystemRunResult Res =
@@ -131,17 +121,16 @@ RunReport Vm::run(uint64_t WallBudget) {
     if (const auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get())) {
       R.RuleCoveredInstrs = Rule->RuleCoveredInstrs;
       R.FallbackInstrs = Rule->FallbackInstrs;
+      // Matcher counters come from the session's own translator, so a
+      // RuleSet shared across sessions (even concurrently) reports exact
+      // per-session counts; resumed runs stay cumulative for free.
+      R.RuleMatchAttempts = Rule->Matches.Attempts;
+      R.RuleMatchHits = Rule->Matches.Hits;
       if (const profile::GapMiner *Miner = Rule->gapMiner()) {
         R.Profile.GapSeqs = Miner->distinctGaps();
         R.Profile.GapTranslations = Miner->missObservations();
         R.Profile.GapExecs = Miner->gapExecutions();
       }
-    }
-    if (const rules::RuleSet *RS = activeRules()) {
-      RuleAttempts_ += RS->MatchAttempts;
-      RuleHits_ += RS->MatchHits;
-      R.RuleMatchAttempts = RuleAttempts_;
-      R.RuleMatchHits = RuleHits_;
     }
   }
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;

@@ -84,20 +84,14 @@ private:
   std::unique_ptr<sys::Platform> Board_;
   uint64_t NativeInstrs_ = 0; ///< native executor: instrs across run() calls
   /// Reference set when no external set is given, or the corpus loaded
-  /// from the "rule:file=<path>" parameter.
+  /// from the "rule:file=<path>" parameter. Never mutated after
+  /// construction: matching is const and per-session counters live in
+  /// the translator (core::RuleTranslator::Matches), so a set shared
+  /// across sessions via VmConfig::rules() — including concurrent
+  /// BatchRunner workers — needs no reset between runs.
   rules::RuleSet OwnedRules_;
-  /// This session's rule-match totals. The RuleSet's own counters are
-  /// reset at the start of every run() stint (a set shared across
-  /// sessions must not leak counts between them); these accumulate the
-  /// per-stint deltas so resumed runs stay cumulative.
-  uint64_t RuleAttempts_ = 0;
-  uint64_t RuleHits_ = 0;
   std::unique_ptr<dbt::Translator> Xlat_;
   std::unique_ptr<dbt::DbtEngine> Engine_;
-
-  /// The rule set this session's translator matches against (null for
-  /// non-rule kinds).
-  const rules::RuleSet *activeRules() const;
 };
 
 } // namespace vm

@@ -9,7 +9,8 @@
 /// selection, insertion-order tie-breaking between equal-length rules,
 /// the ByOpcode bucketing with more than one rule per leading opcode
 /// (including a multi-opcode class registering under every member), the
-/// resetStats() contract, and the shape-filtering corpus thinner.
+/// caller-owned MatchStats contract (the set itself stays immutable
+/// during matching), and the shape-filtering corpus thinner.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -168,7 +169,7 @@ TEST(RuleSetMatch, ClassRuleRegistersUnderEveryMemberOpcode) {
   EXPECT_EQ(RS.match(&Orr, 1, &Matched, B), 0u);
 }
 
-TEST(RuleSetMatch, StatsCountAttemptsAndHitsAndReset) {
+TEST(RuleSetMatch, StatsAccumulatePerCallerNotPerSet) {
   RuleSet RS;
   RS.add(rrrRule("add", {{Opcode::ADD, HOp::Add}}));
 
@@ -176,18 +177,24 @@ TEST(RuleSetMatch, StatsCountAttemptsAndHitsAndReset) {
   Binding B;
   const arm::Inst Hit = rrr(Opcode::ADD, 0, 1, 2);
   const arm::Inst Miss = rrr(Opcode::ORR, 0, 1, 2);
-  RS.match(&Hit, 1, &Matched, B);
-  RS.match(&Miss, 1, &Matched, B);
-  RS.match(&Hit, 1, &Matched, B);
-  EXPECT_EQ(RS.MatchAttempts, 3u);
-  EXPECT_EQ(RS.MatchHits, 2u);
 
-  RS.resetStats();
-  EXPECT_EQ(RS.MatchAttempts, 0u);
-  EXPECT_EQ(RS.MatchHits, 0u);
+  // Two sessions matching against ONE set: each caller-owned MatchStats
+  // sees only its own attempts — the basis of the shared-corpus
+  // guarantee (vm/BatchRunner.h).
+  MatchStats A, BStats;
+  RS.match(&Hit, 1, &Matched, B, &A);
+  RS.match(&Miss, 1, &Matched, B, &A);
+  RS.match(&Hit, 1, &Matched, B, &BStats);
+  EXPECT_EQ(A.Attempts, 2u);
+  EXPECT_EQ(A.Hits, 1u);
+  EXPECT_EQ(BStats.Attempts, 1u);
+  EXPECT_EQ(BStats.Hits, 1u);
+
+  // Matching without stats is allowed (probe-only callers) and counts
+  // nowhere.
   RS.match(&Hit, 1, &Matched, B);
-  EXPECT_EQ(RS.MatchAttempts, 1u);
-  EXPECT_EQ(RS.MatchHits, 1u);
+  EXPECT_EQ(A.Attempts, 2u);
+  EXPECT_EQ(BStats.Attempts, 1u);
 }
 
 TEST(RuleSetFilter, DropsExactlyTheSelectedShape) {

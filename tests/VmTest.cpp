@@ -244,8 +244,8 @@ TEST(Vm, MatchesHandAssembledEngineStack) {
 
 TEST(Vm, SharedRuleSetReportsPerSessionMatchCounters) {
   // One RuleSet across two sessions: the second session's report must
-  // not accumulate the first one's matcher counters (Vm::run snapshots
-  // and resets the shared set's statistics).
+  // not accumulate the first one's matcher counters (each session's
+  // translator owns its MatchStats; the shared set is never mutated).
   const rules::RuleSet RS = rules::buildReferenceRuleSet();
   const auto Run = [&RS] {
     vm::Vm V(vm::VmConfig()

@@ -1,36 +1,197 @@
 //===- tools/rdbt_scenarios.cpp - Registry-wide scenario smoke --------------===//
 //
-// Part of RuleDBT. Runs one workload under every translator kind the
-// registry knows, prints a one-line report per scenario, and checks the
-// invariant the whole evaluation rests on: every executor produces the
-// same guest console output and stops with a clean guest shutdown.
-// Parameterized kinds (rule:file=<path>) need an argument and are skipped.
+// Part of RuleDBT. Runs the translator-kind x workload scenario matrix
+// through the vm/ facade and checks the invariant the whole evaluation
+// rests on: every executor produces the same guest console output and
+// stops with a clean guest shutdown.
 //
-// Usage: rdbt_scenarios [--json] [workload] [scale]  (default: libquantum 1)
-//        rdbt_scenarios --list                       list workloads and kinds
+// Two modes:
 //
-// --json emits every RunReport through the bench/BenchCommon.h recorder
-// to BENCH_scenarios.json (honoring the RDBT_BENCH_JSON output directory,
-// defaulting to the current one), so CI and scripts consume scenario
-// results without scraping stdout.
+//   rdbt_scenarios [--json] [--corpus F] [workload] [scale]
+//     Single-workload smoke (default: libquantum 1): one row per
+//     registered kind. --json emits BENCH_scenarios.json through the
+//     bench/BenchCommon.h recorder.
+//
+//   rdbt_scenarios --jobs N [--json] [--corpus F] [scale]
+//     Full matrix: every registered kind x every workload at the given
+//     scale (default 1), executed by vm/BatchRunner on N worker threads.
+//     --json writes the merged BENCH_matrix.json — cells keyed
+//     "<kind>/<workload>@<scale>" in submission order, byte-identical
+//     regardless of N (the perf-gate baseline artifact; see
+//     tools/rdbt_perfgate and bench/README.md).
+//
+// The parameterized rule:file kind joins both modes when a corpus file
+// resolves: --corpus <path>, else $RDBT_RULE_CORPUS, else the checked-in
+// bench/baselines/reference.rules relative to the working directory —
+// so the learn -> persist -> deploy path is continuously exercised.
+// Without a corpus the kind is skipped, as before.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
 #include "guestsw/Workloads.h"
+#include "vm/BatchRunner.h"
 #include "vm/Vm.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 using namespace rdbt;
+
+namespace {
+
+/// The default checked-in corpus, relative to the repo root (where CI
+/// and the documented quickstart run from).
+const char *DefaultCorpusPath = "bench/baselines/reference.rules";
+
+bool fileExists(const std::string &Path) {
+  return std::ifstream(Path).good();
+}
+
+/// Resolves the rule:file corpus: explicit flag > environment > the
+/// checked-in default when present. Returns "" when unavailable.
+std::string resolveCorpus(const char *Flag) {
+  if (Flag)
+    return Flag;
+  if (const char *Env = std::getenv("RDBT_RULE_CORPUS"))
+    return Env;
+  if (fileExists(DefaultCorpusPath))
+    return DefaultCorpusPath;
+  return std::string();
+}
+
+void printRow(const vm::RunReport &R) {
+  std::printf("%-28s %-14s %12llu %14llu %10.2f\n", R.Spec.c_str(),
+              R.stopName(),
+              static_cast<unsigned long long>(R.guestInstrs()),
+              static_cast<unsigned long long>(R.wall()),
+              R.hostPerGuest());
+}
+
+/// Writes BENCH_matrix.json honoring the RDBT_BENCH_JSON directory
+/// convention ("1"/empty = current directory).
+bool writeMatrixFile(const std::string &Doc) {
+  const char *Env = std::getenv("RDBT_BENCH_JSON");
+  const std::string Dir =
+      (!Env || *Env == '\0' || std::string(Env) == "1") ? "." : Env;
+  const std::string Path = Dir + "/BENCH_matrix.json";
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  OS << Doc;
+  std::printf("\nwrote %s\n", Path.c_str());
+  return true;
+}
+
+/// One planned matrix cell: the stable key, the kind string handed to
+/// the translator registry (carries the =<param> for rule:file), and the
+/// workload.
+struct Cell {
+  std::string Key;
+  std::string Kind;
+  std::string Workload;
+};
+
+int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
+              const std::string &Corpus) {
+  std::vector<Cell> Cells;
+  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const auto *Info = vm::TranslatorRegistry::global().find(Kind);
+    std::string Resolved = Kind;
+    if (Info && Info->TakesParam) {
+      if (Corpus.empty()) {
+        std::fprintf(stderr,
+                     "note: skipping %s (no corpus; pass --corpus or check "
+                     "in %s)\n", Kind.c_str(), DefaultCorpusPath);
+        continue;
+      }
+      Resolved = Kind + "=" + Corpus;
+    }
+    for (const auto &W : guestsw::workloads()) {
+      Cell C;
+      // The key names the kind, never the corpus path, so baselines stay
+      // stable across checkouts.
+      C.Key = Kind + "/" + W.Name + "@" + std::to_string(Scale);
+      C.Kind = Resolved;
+      C.Workload = W.Name;
+      Cells.push_back(std::move(C));
+    }
+  }
+
+  std::vector<vm::VmConfig> Configs;
+  Configs.reserve(Cells.size());
+  for (const Cell &C : Cells)
+    Configs.push_back(
+        vm::VmConfig().translator(C.Kind).workload(C.Workload).scale(Scale));
+
+  std::printf("scenario matrix: %zu cells (%zu kinds x %zu workloads) at "
+              "scale %u, %u job(s)\n\n",
+              Cells.size(),
+              Cells.size() / guestsw::workloads().size(),
+              guestsw::workloads().size(), Scale, Jobs);
+
+  const std::vector<vm::RunReport> Reports =
+      vm::BatchRunner(Jobs).run(Configs);
+
+  std::printf("%-28s %-14s %12s %14s %10s\n", "spec", "stop", "guest",
+              "host cycles", "host/guest");
+  int Failures = 0;
+  std::map<std::string, std::string> RefConsole; // workload -> console
+  std::vector<bench::MatrixCell> Out;
+  Out.reserve(Reports.size());
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const vm::RunReport &R = Reports[I];
+    const auto *Info = vm::TranslatorRegistry::global().find(Cells[I].Kind);
+    printRow(R);
+    Out.push_back({Cells[I].Key,
+                   bench::fromReport(R, Info && Info->UsesEngine)});
+    if (!R.Ok) {
+      std::fprintf(stderr, "FAIL: %s stopped with '%s'%s%s\n",
+                   Cells[I].Key.c_str(), R.stopName(),
+                   R.Error.empty() ? "" : ": ", R.Error.c_str());
+      ++Failures;
+      continue;
+    }
+    const auto It = RefConsole.find(Cells[I].Workload);
+    if (It == RefConsole.end()) {
+      RefConsole.emplace(Cells[I].Workload, R.Console);
+    } else if (R.Console != It->second) {
+      std::fprintf(stderr, "FAIL: %s console diverged from the first "
+                           "executor of '%s'\n",
+                   Cells[I].Key.c_str(), Cells[I].Workload.c_str());
+      ++Failures;
+    }
+  }
+
+  if (Json && !writeMatrixFile(bench::formatMatrixJson(Out, Scale)))
+    ++Failures;
+
+  if (Failures) {
+    std::fprintf(stderr, "\n%d matrix cell(s) failed\n", Failures);
+    return 1;
+  }
+  std::printf("\nall %zu matrix cells clean; consoles identical per "
+              "workload\n", Cells.size());
+  return 0;
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   bool Json = false;
   const char *Workload = nullptr;
+  const char *CorpusFlag = nullptr;
   uint32_t Scale = 1;
   bool HaveScale = false;
+  bool Matrix = false;
+  unsigned Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--list") == 0) {
       std::printf("workloads:\n");
@@ -52,18 +213,63 @@ int main(int argc, char **argv) {
       Json = true;
       continue;
     }
-    if (!Workload) {
+    if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+      Matrix = true;
+      const int N = std::atoi(argv[++I]);
+      Jobs = N > 0 ? static_cast<unsigned>(N)
+                   : vm::BatchRunner::hardwareJobs();
+      continue;
+    }
+    if (std::strncmp(argv[I], "--jobs=", 7) == 0) {
+      Matrix = true;
+      const int N = std::atoi(argv[I] + 7);
+      Jobs = N > 0 ? static_cast<unsigned>(N)
+                   : vm::BatchRunner::hardwareJobs();
+      continue;
+    }
+    if (std::strcmp(argv[I], "--corpus") == 0 && I + 1 < argc) {
+      CorpusFlag = argv[++I];
+      continue;
+    }
+    if (!Matrix && !Workload && argv[I][0] != '-') {
       Workload = argv[I];
       continue;
     }
-    if (!HaveScale) {
-      Scale = static_cast<uint32_t>(std::atoi(argv[I]));
+    if (!HaveScale && argv[I][0] != '-') {
+      // In matrix mode the only positional is the scale; reject
+      // non-numeric values instead of letting atoi turn a misplaced
+      // workload name into scale 0 (and a degenerate "@0" baseline).
+      const int Parsed = std::atoi(argv[I]);
+      if (Parsed <= 0) {
+        std::fprintf(stderr, "invalid scale '%s'%s\n", argv[I],
+                     Matrix ? " (matrix mode runs every workload; the "
+                              "only positional argument is the scale)"
+                            : "");
+        return 2;
+      }
+      Scale = static_cast<uint32_t>(Parsed);
       HaveScale = true;
       continue;
     }
-    std::fprintf(stderr, "unexpected argument '%s'\n", argv[I]);
+    std::fprintf(stderr,
+                 "unexpected argument '%s'\n"
+                 "usage: rdbt_scenarios [--json] [--corpus F] [workload] "
+                 "[scale]\n"
+                 "       rdbt_scenarios --jobs N [--json] [--corpus F] "
+                 "[scale]\n"
+                 "       rdbt_scenarios --list\n", argv[I]);
     return 2;
   }
+
+  const std::string Corpus = resolveCorpus(CorpusFlag);
+  if (!Corpus.empty() && !fileExists(Corpus)) {
+    std::fprintf(stderr, "corpus file '%s' not found\n", Corpus.c_str());
+    return 2;
+  }
+
+  if (Matrix)
+    return runMatrix(Jobs, Scale, Json, Corpus);
+
   if (!Workload)
     Workload = "libquantum";
 
@@ -77,26 +283,26 @@ int main(int argc, char **argv) {
   int Failures = 0;
   for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
     const auto *Info = vm::TranslatorRegistry::global().find(Kind);
-    if (Info && Info->TakesParam)
-      continue; // unusable without an argument (e.g. rule:file=<path>)
-    const std::string Spec =
-        Kind + "/" + Workload + "@" + std::to_string(Scale);
-    std::string Err;
-    vm::Vm V(vm::VmConfig::fromSpec(Spec, &Err));
+    std::string SpecKind = Kind;
+    if (Info && Info->TakesParam) {
+      if (Corpus.empty())
+        continue; // unusable without an argument (e.g. rule:file=<path>)
+      SpecKind = Kind + "=" + Corpus;
+    }
+    vm::Vm V(vm::VmConfig()
+                 .translator(SpecKind)
+                 .workload(Workload)
+                 .scale(Scale));
     if (!V.valid()) {
-      std::fprintf(stderr, "%s: %s\n", Spec.c_str(),
-                   Err.empty() ? V.error().c_str() : Err.c_str());
+      std::fprintf(stderr, "%s/%s: %s\n", SpecKind.c_str(), Workload,
+                   V.error().c_str());
       return 1;
     }
     const vm::RunReport R = V.run();
     if (Json)
       bench::JsonRecorder::get().Runs.push_back(
           {Workload, R.Label, bench::fromReport(R, Info->UsesEngine)});
-    std::printf("%-28s %-14s %12llu %14llu %10.2f\n", R.Spec.c_str(),
-                R.stopName(),
-                static_cast<unsigned long long>(R.guestInstrs()),
-                static_cast<unsigned long long>(R.wall()),
-                R.hostPerGuest());
+    printRow(R);
     if (!R.Ok) {
       std::fprintf(stderr, "FAIL: %s stopped with '%s'\n", R.Spec.c_str(),
                    R.stopName());
