@@ -81,7 +81,18 @@ private:
   // Coordination state.
   uint16_t Resident = 0;
   uint16_t Dirty = 0;
-  bool FlagsValid = true;  ///< host flags hold the live guest flags
+  // Host flags are NOT architecturally guaranteed at TB entry: a lazy-mode
+  // predecessor can exit with host flags clobbered by its interrupt-check
+  // test (its deferred restore never materializes when no use follows), and
+  // chained jumps skip the dispatch loop's flag reload. The head interrupt
+  // check used to mask a `true` here by invalidating immediately — until
+  // ScheduleIrq moved the check past the first instructions and a
+  // conditional op before it consumed stale flags (caught by the fuzz
+  // workload). Every entry path keeps env current, so restoring lazily at
+  // the first use is always sound; the inter-TB save elision stays
+  // consistent because DefinesFlagsBeforeUse counts condition codes as
+  // uses.
+  bool FlagsValid = false; ///< host flags hold the live guest flags
   bool FlagsDirty = false; ///< env copy is stale
   bool AnyBracket = false; ///< basic mode: a save/clobber happened
   bool TbTouchesFlags = false; ///< any instruction defines or uses flags
@@ -238,8 +249,16 @@ private:
 
   // --- Structural pieces ------------------------------------------------------
 
-  void emitIrqCheck(uint32_t Pc) {
-    flagSavePoint();
+  void emitIrqCheck(uint32_t Pc, bool AtTbHead) {
+    // At the TB head the host flags are whatever the previous block left
+    // behind — a flag-free predecessor chains in with its own interrupt
+    // check's test still in them — so parse-saving them here would
+    // launder garbage into an env copy that is already current (every
+    // flag-defining TB saves on exit, and helper/CPSR writes keep env
+    // coherent). Only a mid-TB check (ScheduleIrq) sits after live,
+    // possibly-dirty flags and must save before the clobber.
+    if (!AtTbHead)
+      flagSavePoint();
     const CostClass Saved = E.setClass(CostClass::IrqCheck);
     E.marker(host::MarkerKind::TbProlog);
     E.ldEnv(host::ScratchReg0, sys::envSlotExitRequest());
@@ -789,13 +808,13 @@ void BlockEmitter::run() {
   size_t Idx = 0;
   while (Idx < Order.size() && !Ended) {
     if (Idx == IrqCheckPos)
-      emitIrqCheck(Pcs[Idx]);
+      emitIrqCheck(Pcs[Idx], /*AtTbHead=*/Idx == 0);
     emitInstr(Idx);
   }
   if (IrqCheckPos >= Order.size() && IrqExitJcc < 0) {
     // Degenerate: scheduling pushed the check past the end (cannot
     // happen today; guard for future schedulers).
-    emitIrqCheck(GB.StartPc);
+    emitIrqCheck(GB.StartPc, /*AtTbHead=*/false);
   }
   if (!Ended)
     emitChainExit(GB.endPc());

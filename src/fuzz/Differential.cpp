@@ -1,0 +1,67 @@
+//===- fuzz/Differential.cpp - Cross-kind state diffing --------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differential.h"
+
+#include "fuzz/ProgramGen.h"
+
+using namespace rdbt;
+using namespace rdbt::fuzz;
+
+FinalState fuzz::finalStateOf(const vm::RunReport &R) {
+  FinalState S;
+  for (unsigned I = 0; I < 16; ++I)
+    S.Regs[I] = R.Final.Regs[I];
+  S.Nzcv = R.Final.Nzcv;
+  S.Shutdown = R.Final.ShutdownRequested;
+  return S;
+}
+
+bool fuzz::statesAgree(const FinalState &A, const FinalState &B) {
+  for (unsigned R = 0; R <= 12; ++R)
+    if (R != 4 && A.Regs[R] != B.Regs[R])
+      return false;
+  return A.Regs[13] == B.Regs[13] && A.Regs[14] == B.Regs[14] &&
+         A.Nzcv == B.Nzcv && A.Shutdown == B.Shutdown;
+}
+
+std::string fuzz::diffStates(const FinalState &A, const FinalState &B) {
+  std::string Text;
+  for (unsigned R = 0; R <= 14; ++R)
+    if (R != 4 && A.Regs[R] != B.Regs[R])
+      Text += " r" + std::to_string(R) + ": " + std::to_string(A.Regs[R]) +
+              " vs " + std::to_string(B.Regs[R]);
+  if (A.Nzcv != B.Nzcv)
+    Text += " NZCV: " + std::to_string(A.Nzcv >> 28) + " vs " +
+            std::to_string(B.Nzcv >> 28);
+  return Text.empty() ? " (shutdown flag)" : Text;
+}
+
+vm::VmConfig fuzz::flatConfig(std::vector<uint32_t> Words,
+                              const std::string &Kind,
+                              const rules::RuleSet *Shared, uint64_t Budget) {
+  vm::VmConfig C;
+  C.translator(Kind)
+      .ramBytes(8 << 20)
+      .wallBudget(Budget)
+      .flatImage(std::move(Words), CodeBase);
+  if (Shared)
+    C.rules(Shared);
+  return C;
+}
+
+rules::RuleSet fuzz::buildPlantedBugRuleSet() {
+  const rules::RuleSet Ref = rules::buildReferenceRuleSet();
+  rules::RuleSet Buggy;
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    rules::Rule R = Ref.rule(I);
+    if (R.Name == "clz")
+      // The planted unsoundness: clz of the stale destination value.
+      R.Host[0].Src = 0;
+    Buggy.add(std::move(R));
+  }
+  return Buggy;
+}

@@ -1,0 +1,68 @@
+//===- fuzz/Differential.h - Cross-kind state diffing -----------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison half of differential fuzzing: final-architectural-state
+/// capture from RunReports, the exact agreement predicate (r0-r12 except
+/// the r4 data base, sp, lr, NZCV, clean shutdown), human-readable diffs
+/// for reproducer dumps, and the VmConfig builder every fuzz driver
+/// (tools/rdbt_fuzz, tests/FuzzDifferentialTest) uses so they all run
+/// identical sessions.
+///
+/// Also home of buildPlantedBugRuleSet(): the reference corpus with one
+/// deliberately-unsound rule (clz reads its destination instead of its
+/// source). Purely a fuzz-harness self-test — the acceptance check that
+/// rdbt_fuzz catches a real translator bug and shrinks it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_FUZZ_DIFFERENTIAL_H
+#define RDBT_FUZZ_DIFFERENTIAL_H
+
+#include "vm/VmConfig.h"
+#include "vm/RunReport.h"
+
+#include <string>
+#include <vector>
+
+namespace rdbt {
+namespace fuzz {
+
+/// Wall budgets the fuzz drivers use: the native interpreter retires one
+/// guest instruction per cycle; engine kinds pay translation cost.
+constexpr uint64_t NativeBudget = 10ull * 1000 * 1000;
+constexpr uint64_t EngineBudget = 2000ull * 1000 * 1000;
+
+struct FinalState {
+  uint32_t Regs[16] = {};
+  uint32_t Nzcv = 0;
+  bool Shutdown = false;
+};
+
+/// The final state a Vm run captured (RunReport::Final).
+FinalState finalStateOf(const vm::RunReport &R);
+
+/// Exact agreement: r0-r12 (except r4, the rewritten data base), sp, lr,
+/// NZCV, and the clean-shutdown flag.
+bool statesAgree(const FinalState &A, const FinalState &B);
+
+/// " r3: 7 vs 9 NZCV: 4 vs 6"-style diff, or " (shutdown flag)".
+std::string diffStates(const FinalState &A, const FinalState &B);
+
+/// The canonical fuzz session for \p Kind over a rendered flat image.
+/// \p Shared, when non-null, replaces the translator's built-in corpus
+/// (one immutable RuleSet shared across all seeds and kinds — and, via
+/// BatchRunner, across worker threads).
+vm::VmConfig flatConfig(std::vector<uint32_t> Words, const std::string &Kind,
+                        const rules::RuleSet *Shared, uint64_t Budget);
+
+/// The reference rule corpus with the planted clz bug (see file header).
+rules::RuleSet buildPlantedBugRuleSet();
+
+} // namespace fuzz
+} // namespace rdbt
+
+#endif // RDBT_FUZZ_DIFFERENTIAL_H

@@ -1,0 +1,382 @@
+//===- fuzz/ProgramGen.cpp - Random guest-program generator ----------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include "arm/AsmBuilder.h"
+#include "support/Rng.h"
+#include "sys/Platform.h"
+
+using namespace rdbt;
+using namespace rdbt::fuzz;
+using namespace rdbt::arm;
+
+const std::vector<Profile> &fuzz::allProfiles() {
+  // Category order: alu-reg, alu-imm, reg-shift-reg, compare, mov/mvn,
+  // load, store, push/pop, multiply, skip/clz.
+  static const std::vector<Profile> Profiles = {
+      {"alu", {5, 5, 3, 2, 2, 0, 0, 0, 2, 1}},
+      {"mem", {1, 1, 0, 1, 0, 5, 5, 4, 0, 1}},
+      {"cond", {2, 2, 1, 5, 1, 1, 1, 0, 1, 5}},
+      {"mixed", {1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+      // Learned-rule shapes: plain/immediate/shifted DP, multiplies and
+      // clz dominate; the helper-path and memory categories stay light so
+      // most probes land in the rule matcher.
+      {"corpus", {5, 5, 1, 3, 3, 1, 1, 0, 4, 3}},
+  };
+  return Profiles;
+}
+
+const Profile *fuzz::findProfile(const std::string &Name) {
+  for (const Profile &P : allProfiles())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}
+
+namespace {
+
+unsigned pickCategory(Rng &R, const Profile &P) {
+  unsigned Total = 0;
+  for (const uint8_t W : P.Weights)
+    Total += W;
+  uint32_t X = R.below(Total);
+  for (unsigned I = 0; I < 10; ++I) {
+    if (X < P.Weights[I])
+      return I;
+    X -= P.Weights[I];
+  }
+  return 9;
+}
+
+} // namespace
+
+GenProgram fuzz::generate(uint64_t Seed, const Profile &P) {
+  Rng R(Seed);
+  GenProgram Prog;
+  Prog.Seed = Seed;
+  Prog.ProfileName = P.Name;
+
+  // Deterministic register seeding (r4 is replaced by DataBase at render
+  // time; drawing it anyway keeps the stream stable across profiles).
+  for (unsigned Reg = 0; Reg <= 12; ++Reg)
+    Prog.RegInit[Reg] = R.next32();
+
+  const Opcode AluOps[] = {Opcode::ADD, Opcode::SUB, Opcode::RSB,
+                           Opcode::AND, Opcode::ORR, Opcode::EOR,
+                           Opcode::BIC, Opcode::ADC, Opcode::SBC};
+  const Cond Conds[] = {Cond::AL, Cond::AL, Cond::AL, Cond::EQ, Cond::NE,
+                        Cond::CS, Cond::CC, Cond::MI, Cond::PL, Cond::HI,
+                        Cond::LS, Cond::GE, Cond::LT, Cond::GT, Cond::LE};
+  const auto Gpr = [&R] { return static_cast<uint8_t>(R.below(13)); };
+  // Destinations avoid r4 so the data base survives.
+  const auto Dst = [&R] {
+    uint8_t Reg;
+    do
+      Reg = static_cast<uint8_t>(R.below(13));
+    while (Reg == 4);
+    return Reg;
+  };
+
+  const unsigned Len = R.range(30, 120);
+  bool Pending = false;
+  for (unsigned N = 0; N < Len; ++N) {
+    if (Pending && R.chance(40)) {
+      GenOp End;
+      End.K = GenKind::SkipEnd;
+      Prog.Ops.push_back(End);
+      Pending = false;
+    }
+    GenOp Op;
+    Op.C = Conds[R.below(15)];
+    switch (pickCategory(R, P)) {
+    case 0: { // ALU reg (with optional shift and S)
+      Op.K = GenKind::AluReg;
+      Op.Op = AluOps[R.below(9)];
+      if (R.chance(50)) {
+        Op.Rm = Gpr();
+      } else {
+        Op.Rm = Gpr();
+        Op.Shift = static_cast<ShiftKind>(R.below(4));
+        Op.ShAmt = static_cast<uint8_t>(R.range(1, 31));
+      }
+      Op.Rd = Dst();
+      Op.Rn = Gpr();
+      Op.S = R.chance(40);
+      break;
+    }
+    case 1: // ALU imm
+      Op.K = GenKind::AluImm;
+      Op.Op = AluOps[R.below(9)];
+      Op.Rd = Dst();
+      Op.Rn = Gpr();
+      Op.Imm = R.below(256);
+      Op.S = R.chance(40);
+      break;
+    case 2: // reg-shifted-by-reg (helper path in both translators)
+      Op.K = GenKind::AluRegShiftReg;
+      Op.Op = AluOps[R.below(9)];
+      Op.Rd = Dst();
+      Op.Rn = Gpr();
+      Op.Rm = Gpr();
+      Op.Shift = static_cast<ShiftKind>(R.below(4));
+      Op.Rs = Gpr();
+      Op.S = R.chance(25);
+      break;
+    case 3: // compare family
+      Op.K = GenKind::Compare;
+      Op.Sub = static_cast<uint8_t>(R.below(4));
+      Op.Rn = Gpr();
+      if (Op.Sub == 0 || Op.Sub == 2)
+        Op.Imm = R.below(256);
+      else
+        Op.Rm = Gpr();
+      break;
+    case 4: // mov/mvn/movs
+      if (R.chance(50)) {
+        Op.K = GenKind::Mov;
+        Op.Rd = Dst();
+        Op.Rm = Gpr();
+      } else {
+        Op.K = GenKind::MvnImm;
+        Op.Rd = Dst();
+        Op.Imm = R.below(256);
+      }
+      Op.S = R.chance(40);
+      break;
+    case 5: { // load (word/byte/half) from the data window
+      Op.K = GenKind::Load;
+      Op.Op = R.chance(60)   ? Opcode::LDR
+              : R.chance(50) ? Opcode::LDRB
+                             : Opcode::LDRH;
+      // Halfword encodings only carry 8-bit offsets.
+      Op.Imm = R.below(Op.Op == Opcode::LDRH ? 252 : 1024) & ~3u;
+      Op.Rd = Dst();
+      break;
+    }
+    case 6: { // store into the data window
+      Op.K = GenKind::Store;
+      Op.Op = R.chance(60)   ? Opcode::STR
+              : R.chance(50) ? Opcode::STRB
+                             : Opcode::STRH;
+      Op.Imm = R.below(Op.Op == Opcode::STRH ? 252 : 1024) & ~3u;
+      Op.Rd = Gpr();
+      break;
+    }
+    case 7: { // balanced push/pop pair (never r4/sp/pc)
+      Op.K = GenKind::PushPop;
+      uint16_t List = static_cast<uint16_t>(R.range(1, 0x1FFF)) &
+                      static_cast<uint16_t>(~(1u << 4) & ~(1u << 13));
+      if (!List)
+        List = 1;
+      Op.Imm = List;
+      Op.Rd = Dst();
+      Op.Rn = Gpr();
+      Op.Imm2 = R.below(128);
+      Op.C = Cond::AL; // the triple stays unconditional as a unit
+      break;
+    }
+    case 8: // multiplies
+      if (R.chance(60)) {
+        Op.K = GenKind::Mul;
+        Op.Rd = Dst();
+        Op.Rm = Gpr();
+        Op.Rs = Gpr();
+        Op.S = R.chance(30);
+      } else {
+        Op.K = GenKind::Umull;
+        Op.Rd = Dst(); // lo
+        Op.Rn = Dst(); // hi
+        while (Op.Rn == Op.Rd)
+          Op.Rn = Dst();
+        Op.Rm = Gpr();
+        Op.Rs = Gpr();
+      }
+      break;
+    case 9: // forward conditional skip (TB boundary) or clz
+      if (!Pending) {
+        Op.K = GenKind::SkipBegin;
+        Op.C = Conds[1 + R.below(14)];
+        Pending = true;
+      } else {
+        Op.K = GenKind::Clz;
+        Op.Rd = Dst();
+        Op.Rm = Gpr();
+      }
+      break;
+    }
+    Prog.Ops.push_back(Op);
+  }
+  if (Pending) {
+    GenOp End;
+    End.K = GenKind::SkipEnd;
+    Prog.Ops.push_back(End);
+  }
+  return Prog;
+}
+
+namespace {
+
+void emitOp(AsmBuilder &A, const GenOp &Op, std::vector<Label> &Pending) {
+  switch (Op.K) {
+  case GenKind::AluReg:
+    A.alu(Op.Op, Op.Rd, Op.Rn,
+          Op.ShAmt ? Operand2::shiftedReg(Op.Rm, Op.Shift, Op.ShAmt)
+                   : Operand2::reg(Op.Rm),
+          Op.C, Op.S);
+    break;
+  case GenKind::AluImm:
+    A.alu(Op.Op, Op.Rd, Op.Rn, Operand2::imm(Op.Imm), Op.C, Op.S);
+    break;
+  case GenKind::AluRegShiftReg:
+    A.alu(Op.Op, Op.Rd, Op.Rn,
+          Operand2::regShiftedReg(Op.Rm, Op.Shift, Op.Rs), Op.C, Op.S);
+    break;
+  case GenKind::Compare:
+    switch (Op.Sub) {
+    case 0: A.cmp(Op.Rn, Operand2::imm(Op.Imm), Op.C); break;
+    case 1: A.cmn(Op.Rn, Operand2::reg(Op.Rm), Op.C); break;
+    case 2: A.tst(Op.Rn, Operand2::imm(Op.Imm), Op.C); break;
+    default: A.teq(Op.Rn, Operand2::reg(Op.Rm), Op.C); break;
+    }
+    break;
+  case GenKind::Mov:
+    A.mov(Op.Rd, Operand2::reg(Op.Rm), Op.C, Op.S);
+    break;
+  case GenKind::MvnImm:
+    A.mvn(Op.Rd, Operand2::imm(Op.Imm), Op.C, Op.S);
+    break;
+  case GenKind::Load:
+  case GenKind::Store:
+    A.ldrstr(Op.Op, Op.Rd, 4, static_cast<int32_t>(Op.Imm), Op.C);
+    break;
+  case GenKind::PushPop:
+    A.push(static_cast<uint16_t>(Op.Imm));
+    A.alu(Opcode::ADD, Op.Rd, Op.Rn, Operand2::imm(Op.Imm2));
+    A.pop(static_cast<uint16_t>(Op.Imm));
+    break;
+  case GenKind::Mul:
+    A.mul(Op.Rd, Op.Rm, Op.Rs, Op.C, Op.S);
+    break;
+  case GenKind::Umull:
+    A.umull(Op.Rd, Op.Rn, Op.Rm, Op.Rs, Op.C);
+    break;
+  case GenKind::Clz:
+    A.clz(Op.Rd, Op.Rm, Op.C);
+    break;
+  case GenKind::SkipBegin: {
+    const Label L = A.newLabel();
+    A.b(L, Op.C);
+    Pending.push_back(L);
+    break;
+  }
+  case GenKind::SkipEnd:
+    // An unmatched SkipEnd (its SkipBegin was shrunk away) is a no-op.
+    if (!Pending.empty()) {
+      A.bind(Pending.back());
+      Pending.pop_back();
+    }
+    break;
+  }
+}
+
+} // namespace
+
+void fuzz::emitOps(AsmBuilder &A, const std::vector<GenOp> &Ops) {
+  std::vector<Label> Pending;
+  for (const GenOp &Op : Ops)
+    emitOp(A, Op, Pending);
+  // Skips whose SkipEnd was shrunk away bind here: still a strictly
+  // forward branch, so the block falls through whatever was removed.
+  while (!Pending.empty()) {
+    A.bind(Pending.back());
+    Pending.pop_back();
+  }
+}
+
+std::vector<uint32_t> fuzz::render(const GenProgram &Prog,
+                                   const std::vector<GenOp> &Ops) {
+  AsmBuilder A(CodeBase);
+  for (uint8_t Reg = 0; Reg <= 12; ++Reg)
+    A.movImm32(Reg, Prog.RegInit[Reg]);
+  A.movImm32(RegSP, StackTop);
+  A.movImm32(RegLR, 0);
+  // r4 always holds the data base (memory ops use it).
+  A.movImm32(4, DataBase);
+
+  emitOps(A, Ops);
+
+  // Terminate: write the UART shutdown register (r4 is rewritten; state
+  // comparison skips it).
+  A.movImm32(4, sys::MmioUart + sys::Uart::RegShutdown);
+  A.str(0, 4, 0);
+  const Label Self = A.hereLabel();
+  A.b(Self);
+  A.pool();
+  return A.finish();
+}
+
+size_t fuzz::renderedInstrCount(const std::vector<GenOp> &Ops) {
+  size_t N = 0;
+  for (const GenOp &Op : Ops) {
+    switch (Op.K) {
+    case GenKind::PushPop: N += 3; break;
+    case GenKind::SkipEnd: break;
+    default: ++N; break;
+    }
+  }
+  return N;
+}
+
+std::string fuzz::describeOp(const GenOp &Op) {
+  const auto R = [](unsigned Reg) { return "r" + std::to_string(Reg); };
+  const std::string Cc =
+      Op.C == Cond::AL ? "" : "<" + std::string(condName(Op.C)) + ">";
+  switch (Op.K) {
+  case GenKind::AluReg:
+    return std::string(opcodeName(Op.Op)) + (Op.S ? "s" : "") + Cc + " " +
+           R(Op.Rd) + ", " + R(Op.Rn) + ", " + R(Op.Rm) +
+           (Op.ShAmt ? " shift#" + std::to_string(Op.ShAmt) : "");
+  case GenKind::AluImm:
+    return std::string(opcodeName(Op.Op)) + (Op.S ? "s" : "") + Cc + " " +
+           R(Op.Rd) + ", " + R(Op.Rn) + ", #" + std::to_string(Op.Imm);
+  case GenKind::AluRegShiftReg:
+    return std::string(opcodeName(Op.Op)) + (Op.S ? "s" : "") + Cc + " " +
+           R(Op.Rd) + ", " + R(Op.Rn) + ", " + R(Op.Rm) + " shift " +
+           R(Op.Rs);
+  case GenKind::Compare: {
+    static const char *const Names[] = {"cmp", "cmn", "tst", "teq"};
+    const std::string Txt = std::string(Names[Op.Sub]) + Cc + " " + R(Op.Rn);
+    return Txt + (Op.Sub == 0 || Op.Sub == 2 ? ", #" + std::to_string(Op.Imm)
+                                             : ", " + R(Op.Rm));
+  }
+  case GenKind::Mov:
+    return "mov" + std::string(Op.S ? "s" : "") + Cc + " " + R(Op.Rd) +
+           ", " + R(Op.Rm);
+  case GenKind::MvnImm:
+    return "mvn" + std::string(Op.S ? "s" : "") + Cc + " " + R(Op.Rd) +
+           ", #" + std::to_string(Op.Imm);
+  case GenKind::Load:
+  case GenKind::Store:
+    return std::string(opcodeName(Op.Op)) + Cc + " " + R(Op.Rd) +
+           ", [r4, #" + std::to_string(Op.Imm) + "]";
+  case GenKind::PushPop:
+    return "push/add/pop list=" + std::to_string(Op.Imm);
+  case GenKind::Mul:
+    return "mul" + std::string(Op.S ? "s" : "") + Cc + " " + R(Op.Rd) +
+           ", " + R(Op.Rm) + ", " + R(Op.Rs);
+  case GenKind::Umull:
+    return "umull" + Cc + " " + R(Op.Rd) + ", " + R(Op.Rn) + ", " +
+           R(Op.Rm) + ", " + R(Op.Rs);
+  case GenKind::Clz:
+    return "clz" + Cc + " " + R(Op.Rd) + ", " + R(Op.Rm);
+  case GenKind::SkipBegin:
+    return "b" + (Cc.empty() ? std::string("<al>") : Cc) + " skip-begin";
+  case GenKind::SkipEnd:
+    return "skip-end";
+  }
+  return "?";
+}

@@ -1,0 +1,136 @@
+//===- fuzz/ProgramGen.h - Random guest-program generator -------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared random-program generator behind differential fuzzing
+/// (DESIGN.md §10). One seeded generation pass produces a GenProgram: an
+/// abstract op list (GenOp) plus the deterministic initial register
+/// values. Rendering to a flat guest image is a separate, pure step —
+/// which is what makes shrinking sound: the minimizer deletes GenOps,
+/// not encoded words, and re-renders, so labels, literal pools, and the
+/// terminating epilogue stay consistent no matter which ops are removed.
+///
+/// Generation is profile-driven: named instruction-mix profiles (alu,
+/// mem, cond, mixed, corpus) reweight the op categories so the fuzzer
+/// can stress specific translator surfaces — "corpus" biases toward the
+/// learned-rule shapes (plain DP, shifted-by-imm, multiplies, clz) that
+/// exercise the rule matcher hardest. The "mixed" profile keeps the
+/// original FuzzDifferentialTest category mix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_FUZZ_PROGRAMGEN_H
+#define RDBT_FUZZ_PROGRAMGEN_H
+
+#include "arm/Isa.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdbt {
+namespace arm {
+class AsmBuilder;
+}
+namespace fuzz {
+
+/// Flat-image layout every generated program uses: code at CodeBase,
+/// a flat-mapped scratch data window at DataBase, stack below StackTop.
+constexpr uint32_t CodeBase = 0x1000;
+constexpr uint32_t DataBase = 0x40000;
+constexpr uint32_t StackTop = 0x60000;
+
+/// One abstract generated instruction. Each op renders independently
+/// (PushPop renders as a balanced push/add/pop triple; SkipBegin /
+/// SkipEnd bracket a forward conditional branch), so removing any
+/// subset still renders a valid terminating program.
+enum class GenKind : uint8_t {
+  AluReg,         ///< alu Rd, Rn, Rm [shifted by ShAmt] (ShAmt 0 = plain)
+  AluImm,         ///< alu Rd, Rn, #Imm
+  AluRegShiftReg, ///< alu Rd, Rn, Rm <shift> Rs (helper path)
+  Compare,        ///< Sub: 0 cmp-imm, 1 cmn-reg, 2 tst-imm, 3 teq-reg
+  Mov,            ///< mov Rd, Rm
+  MvnImm,         ///< mvn Rd, #Imm
+  Load,           ///< Op in {LDR,LDRB,LDRH}: Rd <- [r4 + Imm]
+  Store,          ///< Op in {STR,STRB,STRH}: [r4 + Imm] <- Rd
+  PushPop,        ///< push Imm-list; add Rd, Rn, #Imm2; pop Imm-list
+  Mul,            ///< mul Rd, Rm, Rs
+  Umull,          ///< umull Rd(lo), Rn(hi), Rm, Rs
+  Clz,            ///< clz Rd, Rm
+  SkipBegin,      ///< b<C> over the ops up to the matching SkipEnd
+  SkipEnd,        ///< binds the innermost pending SkipBegin
+};
+
+struct GenOp {
+  GenKind K = GenKind::Mov;
+  arm::Opcode Op = arm::Opcode::ADD; ///< ALU/load/store opcode
+  uint8_t Rd = 0, Rn = 0, Rm = 0, Rs = 0;
+  arm::ShiftKind Shift = arm::ShiftKind::LSL;
+  uint8_t ShAmt = 0;
+  uint32_t Imm = 0;  ///< ALU immediate / memory offset / push list
+  uint32_t Imm2 = 0; ///< PushPop middle-add immediate
+  bool S = false;
+  arm::Cond C = arm::Cond::AL;
+  uint8_t Sub = 0; ///< Compare subtype
+};
+
+/// Category weights for one named instruction mix. Categories follow the
+/// generator's switch order: alu-reg, alu-imm, reg-shift-reg, compare,
+/// mov/mvn, load, store, push/pop, multiply, skip/clz.
+struct Profile {
+  const char *Name;
+  uint8_t Weights[10];
+};
+
+/// The built-in profiles: alu, mem, cond, mixed, corpus.
+const std::vector<Profile> &allProfiles();
+/// nullptr when \p Name is unknown.
+const Profile *findProfile(const std::string &Name);
+
+/// One generated program: the seed and profile it came from, the
+/// deterministic initial values of r0-r12 (r4 is overwritten with
+/// DataBase at render time), and the abstract op list.
+struct GenProgram {
+  uint64_t Seed = 0;
+  std::string ProfileName;
+  uint32_t RegInit[13] = {};
+  std::vector<GenOp> Ops;
+};
+
+/// Generates a random terminating program for \p Seed under \p P.
+GenProgram generate(uint64_t Seed, const Profile &P);
+
+/// Emits \p Ops through an existing builder — the body-only building
+/// block render() uses, exported so kernel-hosted programs (the "fuzz"
+/// scenario workload) can embed generated blocks. Forward skips whose
+/// SkipEnd was removed are bound after the last op, so the block always
+/// falls through. No prologue or epilogue is emitted; the caller owns
+/// register seeding (r4 must hold a writable data window of >= 1 KiB)
+/// and termination.
+void emitOps(arm::AsmBuilder &A, const std::vector<GenOp> &Ops);
+
+/// Renders \p Ops with \p Prog's register seeding into a flat guest
+/// image at CodeBase: prologue (register init, sp/lr, r4 = DataBase),
+/// the ops, then the terminating epilogue (UART shutdown write +
+/// self-branch + literal pool). Pure: same inputs, same words.
+std::vector<uint32_t> render(const GenProgram &Prog,
+                             const std::vector<GenOp> &Ops);
+/// Renders the program's own op list.
+inline std::vector<uint32_t> render(const GenProgram &Prog) {
+  return render(Prog, Prog.Ops);
+}
+
+/// Guest instructions \p Ops renders in the program body (PushPop counts
+/// 3, SkipEnd 0) — the "reproducer size" the shrink reports.
+size_t renderedInstrCount(const std::vector<GenOp> &Ops);
+
+/// One-line disassembly-ish description of \p Op for reproducer dumps.
+std::string describeOp(const GenOp &Op);
+
+} // namespace fuzz
+} // namespace rdbt
+
+#endif // RDBT_FUZZ_PROGRAMGEN_H

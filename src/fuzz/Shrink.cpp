@@ -1,0 +1,48 @@
+//===- fuzz/Shrink.cpp - Reproducer minimization ---------------------------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrink.h"
+
+using namespace rdbt;
+using namespace rdbt::fuzz;
+
+ShrinkResult fuzz::shrink(std::vector<GenOp> Ops, const Oracle &StillFails) {
+  ShrinkResult Res;
+  ++Res.OracleCalls;
+  if (!StillFails(Ops)) {
+    Res.Ops = std::move(Ops);
+    return Res;
+  }
+  Res.WasFailing = true;
+
+  size_t Chunk = Ops.size() / 2;
+  if (Chunk == 0)
+    Chunk = 1;
+  while (true) {
+    bool Removed = false;
+    for (size_t I = 0; I + Chunk <= Ops.size();) {
+      std::vector<GenOp> Cand;
+      Cand.reserve(Ops.size() - Chunk);
+      Cand.insert(Cand.end(), Ops.begin(), Ops.begin() + I);
+      Cand.insert(Cand.end(), Ops.begin() + I + Chunk, Ops.end());
+      ++Res.OracleCalls;
+      if (StillFails(Cand)) {
+        Ops = std::move(Cand);
+        Removed = true;
+        // Retry the same position: the next chunk slid into place.
+      } else {
+        I += Chunk;
+      }
+    }
+    if (Removed)
+      continue; // this chunk size still helps; rescan before halving
+    if (Chunk == 1)
+      break;
+    Chunk /= 2;
+  }
+  Res.Ops = std::move(Ops);
+  return Res;
+}

@@ -1,0 +1,48 @@
+//===- fuzz/Shrink.h - Reproducer minimization ------------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy chunked instruction-removal shrink (a ddmin-lite) over GenOp
+/// lists. The caller supplies the failure oracle — typically "re-render
+/// and the reference executor still disagrees with the failing kind" —
+/// and the shrinker returns the smallest op list it can reach that still
+/// fails. Fully deterministic: same input and oracle, same output, same
+/// number of oracle calls. A program the oracle passes comes back
+/// untouched (the no-op guarantee FuzzShrinkTest holds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_FUZZ_SHRINK_H
+#define RDBT_FUZZ_SHRINK_H
+
+#include "fuzz/ProgramGen.h"
+
+#include <functional>
+
+namespace rdbt {
+namespace fuzz {
+
+/// Returns true when the candidate op list still reproduces the failure.
+using Oracle = std::function<bool(const std::vector<GenOp> &)>;
+
+struct ShrinkResult {
+  std::vector<GenOp> Ops;   ///< the minimized (or untouched) op list
+  bool WasFailing = false;  ///< oracle failed on the input at all
+  unsigned OracleCalls = 0; ///< re-executions the shrink spent
+};
+
+/// Minimizes \p Ops against \p StillFails. Tries removing chunks of
+/// halving size (N/2, N/4, ..., 1) at every aligned position, restarting
+/// a chunk size until it stops helping; terminates when no single-op
+/// removal keeps the failure alive. If the input does not fail the
+/// oracle, returns it unchanged with WasFailing == false after exactly
+/// one oracle call.
+ShrinkResult shrink(std::vector<GenOp> Ops, const Oracle &StillFails);
+
+} // namespace fuzz
+} // namespace rdbt
+
+#endif // RDBT_FUZZ_SHRINK_H

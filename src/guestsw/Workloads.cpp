@@ -7,6 +7,7 @@
 #include "guestsw/Workloads.h"
 
 #include "arm/AsmBuilder.h"
+#include "fuzz/ProgramGen.h"
 #include "guestsw/MiniKernel.h"
 #include "support/Rng.h"
 
@@ -711,6 +712,52 @@ std::vector<uint32_t> emitCtxswitch(uint32_t Scale) {
   return P.finishProgram();
 }
 
+/// fuzz: deterministic blocks from the differential-fuzz generator
+/// (fuzz/ProgramGen.h, "corpus" profile — the learned-rule instruction
+/// shapes), embedded in a kernel user program. This makes the fuzzer's
+/// instruction mix a standing scenario-matrix row: every executor kind
+/// must print the same checksum, so any divergence rdbt_fuzz would flag
+/// also breaks the matrix/perf-gate comparison.
+std::vector<uint32_t> emitFuzz(uint32_t Scale) {
+  UserProg P;
+  auto &U = P.U;
+  P.fillData(KernelLayout::UserData, 512, 0xF0DD);
+  U.movImm32(R6, Scale * 120);
+  Label Outer = P.loopHead();
+  const fuzz::Profile *Corpus = fuzz::findProfile("corpus");
+  assert(Corpus && "corpus profile must exist");
+  // Block I is fuzzer seed index I: reproduce any divergence standalone
+  // with `rdbt_fuzz --seed I --profile corpus`.
+  for (const uint64_t Index : {0ull, 1ull, 2ull}) {
+    const fuzz::GenProgram G = fuzz::generate(0xF0DD + Index * 7919, *Corpus);
+    // The generated block clobbers every register except r4 (the
+    // generator's data base) — shelter the loop counter and the running
+    // checksum, and give the block its seeded inputs so behaviour never
+    // depends on what the previous block left behind.
+    U.push((1u << R6) | (1u << R10));
+    U.movImm32(R4, KernelLayout::UserData);
+    for (const uint8_t Reg : {R0, R1, R2, R3, R5, R7, R8, R9, R10, R11, R12})
+      U.movImm32(Reg, G.RegInit[Reg]);
+    fuzz::emitOps(U, G.Ops);
+    // Fold the block's final state into r0 (r4 is excluded: it is the
+    // fixed data base, and rdbt_fuzz skips it for the same reason).
+    U.alu(Opcode::EOR, R0, R0, Operand2::reg(R1));
+    U.add(R0, R0, Operand2::reg(R2));
+    U.alu(Opcode::EOR, R0, R0, Operand2::reg(R3));
+    U.add(R0, R0, Operand2::reg(R5));
+    U.alu(Opcode::EOR, R0, R0, Operand2::reg(R8));
+    U.add(R0, R0, Operand2::reg(R9));
+    U.alu(Opcode::EOR, R0, R0, Operand2::reg(R10));
+    U.add(R0, R0, Operand2::reg(R11));
+    U.alu(Opcode::EOR, R0, R0, Operand2::reg(R12));
+    U.pop((1u << R6) | (1u << R10));
+    U.add(R10, R10, Operand2::reg(R0));
+  }
+  P.syscall(SysYield); // cross the kernel boundary like the SPEC rows
+  P.loopTail(Outer, R6);
+  return P.finishProgram();
+}
+
 const std::vector<WorkloadInfo> &allWorkloads() {
   static const std::vector<WorkloadInfo> Table = {
       {"perlbench", true, false, "branchy string hashing"},
@@ -732,6 +779,8 @@ const std::vector<WorkloadInfo> &allWorkloads() {
       {"cpu-prime", false, true, "trial-division prime counting"},
       {"ctxswitch", false, false,
        "multi-process round-robin context switching (per-ASID spaces)"},
+      {"fuzz", false, false,
+       "generated corpus-profile blocks from the differential fuzzer"},
   };
   return Table;
 }
@@ -755,6 +804,7 @@ Emitter emitterFor(const std::string &Name) {
   if (Name == "untar") return emitUntar;
   if (Name == "cpu-prime") return emitCpuPrime;
   if (Name == "ctxswitch") return emitCtxswitch;
+  if (Name == "fuzz") return emitFuzz;
   return nullptr;
 }
 

@@ -14,22 +14,117 @@ using namespace rdbt::rules;
 using arm::Opcode;
 using host::HOp;
 
+namespace {
+
+/// The fine-index shape of a probed instruction: which PatShape a first
+/// pattern must have to possibly match it. Mirrors the shapeMatches()
+/// dispatch in Rule.cpp; -1 means no PatShape covers the instruction
+/// (memory ops, branches, reg-shifted-by-reg operands, ...) so no rule
+/// can match and the indexed path answers without touching any bucket.
+int shapeOfInst(const arm::Inst &I) {
+  using arm::Opcode;
+  if (I.isDataProcessing()) {
+    if (I.Op2.IsImm)
+      return static_cast<int>(PatShape::DpImm);
+    if (I.Op2.RegShift)
+      return -1; // reg-shifted-by-reg: no rule shape exists
+    if (I.Op2.ShiftImm == 0 && I.Op2.Shift == arm::ShiftKind::LSL)
+      return static_cast<int>(PatShape::DpReg);
+    return static_cast<int>(PatShape::DpRegShiftImm);
+  }
+  switch (I.Op) {
+  case Opcode::MUL: return static_cast<int>(PatShape::Mul);
+  case Opcode::MLA: return static_cast<int>(PatShape::Mla);
+  case Opcode::UMULL:
+  case Opcode::SMULL: return static_cast<int>(PatShape::MulLong);
+  case Opcode::CLZ: return static_cast<int>(PatShape::Clz);
+  default: return -1;
+  }
+}
+
+/// The S key of a probed instruction (matchRule: compares count as S).
+bool instSetFlags(const arm::Inst &I) {
+  return I.SetFlags || I.isCompare();
+}
+
+/// First-pattern register-aliasing constraints, as forced (in)equalities
+/// over the four pattern fields Rd/Rn/Rm/Rs. Two fields sharing a
+/// parameter index must bind the same guest register; a Rule::Distinct
+/// pair whose parameters both appear in the first pattern forces two
+/// fields apart. Used to prove two rules can never match the same
+/// instruction (optimizeHotOrder's swap guard).
+struct FieldConstraints {
+  bool Eq[4][4] = {};
+  bool Ne[4][4] = {};
+};
+
+FieldConstraints firstPatternConstraints(const Rule &R) {
+  FieldConstraints C;
+  const RulePattern &P = R.Guest[0];
+  const int8_t F[4] = {P.Rd, P.Rn, P.Rm, P.Rs};
+  for (int I = 0; I < 4; ++I)
+    for (int J = I + 1; J < 4; ++J)
+      if (F[I] >= 0 && F[I] == F[J])
+        C.Eq[I][J] = true;
+  for (const auto &[Pa, Pb] : R.Distinct)
+    for (int I = 0; I < 4; ++I)
+      for (int J = I + 1; J < 4; ++J)
+        if ((F[I] == Pa && F[J] == Pb) || (F[I] == Pb && F[J] == Pa))
+          C.Ne[I][J] = true;
+  return C;
+}
+
+/// True when no instruction can match both rules' first patterns. Both
+/// rules come from one fine bucket, so shape and S already agree; what
+/// can still separate them is an exact immediate, an exact shift, or
+/// contradictory register aliasing.
+bool firstPatternsDisjoint(const Rule &A, const Rule &B) {
+  const RulePattern &Pa = A.Guest[0];
+  const RulePattern &Pb = B.Guest[0];
+  if (Pa.Shape == PatShape::DpImm && Pa.ImmP < 0 && Pb.ImmP < 0 &&
+      Pa.ImmExact != Pb.ImmExact)
+    return true;
+  if (Pa.Shape == PatShape::DpRegShiftImm) {
+    if (Pa.Shift != Pb.Shift)
+      return true;
+    if (Pa.ShAmtP < 0 && Pb.ShAmtP < 0 && Pa.ShAmtExact != Pb.ShAmtExact)
+      return true;
+  }
+  const FieldConstraints Ca = firstPatternConstraints(A);
+  const FieldConstraints Cb = firstPatternConstraints(B);
+  for (int I = 0; I < 4; ++I)
+    for (int J = I + 1; J < 4; ++J)
+      if ((Ca.Eq[I][J] && Cb.Ne[I][J]) || (Ca.Ne[I][J] && Cb.Eq[I][J]))
+        return true;
+  return false;
+}
+
+/// Inserts \p Idx into \p Order keeping longest-pattern-first, stable
+/// within equal lengths (new entries go after existing peers).
+void insertByPriority(std::vector<int> &Order, int Idx,
+                      const std::vector<Rule> &Rules) {
+  const size_t Len = Rules[Idx].Guest.size();
+  const auto Pos = std::upper_bound(
+      Order.begin(), Order.end(), Len, [&Rules](size_t L, int I) {
+        return L > Rules[I].Guest.size();
+      });
+  Order.insert(Pos, Idx);
+}
+
+} // namespace
+
 void RuleSet::add(Rule R) {
   assert(!R.Guest.empty() && "rule without a guest pattern");
   const int Idx = static_cast<int>(Rules.size());
   Rules.push_back(std::move(R));
   const Rule &Added = Rules.back();
+  insertByPriority(Priority, Idx, Rules);
   // A rule whose leading pattern is an opcode class registers under every
-  // class member.
-  for (const OpClassEntry &CE :
-       Added.Classes[Added.Guest[0].ClassIdx]) {
-    auto &Bucket = ByOpcode[static_cast<size_t>(CE.Guest)];
-    Bucket.push_back(Idx);
-    // Keep longest-pattern-first, stable within equal lengths.
-    std::stable_sort(Bucket.begin(), Bucket.end(), [this](int A, int B) {
-      return Rules[A].Guest.size() > Rules[B].Guest.size();
-    });
-  }
+  // class member's fine key.
+  const RulePattern &P = Added.Guest[0];
+  for (const OpClassEntry &CE : Added.Classes[P.ClassIdx])
+    insertByPriority(Fine[fineKey(CE.Guest, P.Shape, P.SetFlags)], Idx,
+                     Rules);
 }
 
 size_t RuleSet::match(const arm::Inst *Insts, size_t Count,
@@ -39,17 +134,63 @@ size_t RuleSet::match(const arm::Inst *Insts, size_t Count,
     ++Stats->Attempts;
   if (Count == 0 || !Insts[0].isValid())
     return 0;
-  const auto &Bucket = ByOpcode[static_cast<size_t>(Insts[0].Op)];
+  const int Shape = shapeOfInst(Insts[0]);
+  if (Shape < 0)
+    return 0;
+  const auto &Bucket = Fine[fineKey(Insts[0].Op, static_cast<PatShape>(Shape),
+                                    instSetFlags(Insts[0]))];
   for (const int Idx : Bucket) {
     const Rule &R = Rules[Idx];
     if (matchRule(R, Insts, Count, B)) {
       *MatchedRule = &R;
       if (Stats)
-        ++Stats->Hits;
+        Stats->countHit(static_cast<size_t>(Idx));
       return R.Guest.size();
     }
   }
   return 0;
+}
+
+size_t RuleSet::matchLinear(const arm::Inst *Insts, size_t Count,
+                            const Rule **MatchedRule, Binding &B,
+                            MatchStats *Stats) const {
+  if (Stats)
+    ++Stats->Attempts;
+  if (Count == 0 || !Insts[0].isValid())
+    return 0;
+  for (const int Idx : Priority) {
+    const Rule &R = Rules[Idx];
+    if (matchRule(R, Insts, Count, B)) {
+      *MatchedRule = &R;
+      if (Stats)
+        Stats->countHit(static_cast<size_t>(Idx));
+      return R.Guest.size();
+    }
+  }
+  return 0;
+}
+
+void RuleSet::optimizeHotOrder(const MatchStats &Stats) {
+  for (auto &Bucket : Fine) {
+    if (Bucket.size() < 2)
+      continue;
+    // Guarded bubble promotion: a hotter rule moves up one slot at a time
+    // and only past a neighbor it is provably disjoint from, so the first
+    // matching rule for any probe is unchanged. Each adjacent swap is
+    // individually sound, which makes the whole pass sound.
+    bool Swapped = true;
+    while (Swapped) {
+      Swapped = false;
+      for (size_t J = 1; J < Bucket.size(); ++J) {
+        if (Stats.hitsFor(Bucket[J]) <= Stats.hitsFor(Bucket[J - 1]))
+          continue;
+        if (!firstPatternsDisjoint(Rules[Bucket[J]], Rules[Bucket[J - 1]]))
+          continue;
+        std::swap(Bucket[J], Bucket[J - 1]);
+        Swapped = true;
+      }
+    }
+  }
 }
 
 RuleSet rules::filterRuleSetByShape(const RuleSet &RS, PatShape Drop) {

@@ -5,14 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A prioritized rule collection with an opcode-indexed matcher. Rules
+/// A prioritized rule collection with a two-level indexed matcher. Rules
 /// are tried longest-pattern first, then in insertion order (specific
 /// before generic), exactly like the rule-application phase of §II-A.
+///
+/// At corpus scale (10k+ learned rules) the matcher must not scan every
+/// rule per attempt, so match() consults a *fine index*: candidate lists
+/// keyed by (first guest opcode, first pattern shape, S bit). The key is
+/// computable from the probed instruction alone, and every rule whose
+/// first pattern could possibly match lands in exactly the probed bucket,
+/// so the candidate sequence — and therefore the selected rule, the
+/// consumed count, and all MatchStats counters — is identical to the
+/// matchLinear() reference path that scans the whole set in priority
+/// order (tests/RuleSetIndexTest.cpp holds the equivalence).
+///
+/// optimizeHotOrder() additionally moves hot rules (per-rule hit counts
+/// from a caller's MatchStats) toward the front of their buckets, but
+/// only past rules whose first patterns are *provably disjoint* — so the
+/// reorder can never change which rule a probe selects, only how fast it
+/// is found.
 ///
 /// Matching is const and carries no hidden state: dynamic match counters
 /// live in a caller-owned MatchStats, never in the set itself, so one
 /// immutable corpus can be shared read-only across concurrent sessions
 /// (vm/BatchRunner.h) without any cross-session counter bleed.
+/// optimizeHotOrder() is the one mutating setup-time operation; call it
+/// before sharing, never while sessions are matching.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,26 +52,71 @@ namespace rules {
 struct MatchStats {
   uint64_t Attempts = 0; ///< match() calls
   uint64_t Hits = 0;     ///< calls that selected a rule
+  /// Hit counts per rule index (grown on first hit of a high index).
+  /// Feeds RuleSet::optimizeHotOrder: a warmup session's counters tell
+  /// the set which rules to try first.
+  std::vector<uint64_t> PerRule;
+
+  void countHit(size_t RuleIdx) {
+    ++Hits;
+    if (PerRule.size() <= RuleIdx)
+      PerRule.resize(RuleIdx + 1, 0);
+    ++PerRule[RuleIdx];
+  }
+  uint64_t hitsFor(size_t RuleIdx) const {
+    return RuleIdx < PerRule.size() ? PerRule[RuleIdx] : 0;
+  }
 };
 
 class RuleSet {
 public:
   void add(Rule R);
 
-  /// Finds the best rule matching the instruction sequence. Returns the
-  /// number of guest instructions consumed (0 = no match) and fills
-  /// \p MatchedRule / \p B. \p Stats, when given, accumulates the
-  /// caller's attempt/hit counters; the set itself is never mutated.
+  /// Finds the best rule matching the instruction sequence via the fine
+  /// (opcode, shape, S) index. Returns the number of guest instructions
+  /// consumed (0 = no match) and fills \p MatchedRule / \p B. \p Stats,
+  /// when given, accumulates the caller's attempt/hit counters; the set
+  /// itself is never mutated.
   size_t match(const arm::Inst *Insts, size_t Count, const Rule **MatchedRule,
                Binding &B, MatchStats *Stats = nullptr) const;
+
+  /// The unindexed reference matcher: scans every rule in priority order
+  /// (longest pattern first, then insertion order). Semantically
+  /// identical to match() — same selected rule, consumed count, and
+  /// Stats — just O(rules) per probe. Kept as the verification oracle
+  /// and the baseline the indexed path is benchmarked against.
+  size_t matchLinear(const arm::Inst *Insts, size_t Count,
+                     const Rule **MatchedRule, Binding &B,
+                     MatchStats *Stats = nullptr) const;
+
+  /// Reorders each fine bucket hot-rules-first using \p Stats' per-rule
+  /// hit counts. A rule only ever moves past neighbors whose first
+  /// patterns are provably disjoint from its own (contradictory register
+  /// aliasing, different exact immediates or shift kinds), so match()
+  /// results are bit-identical before and after. Mutates the set: call
+  /// at setup time, never while other threads are matching.
+  void optimizeHotOrder(const MatchStats &Stats);
 
   size_t size() const { return Rules.size(); }
   const Rule &rule(size_t I) const { return Rules[I]; }
 
 private:
+  static constexpr size_t NumOpcodes = 64;
+  static constexpr size_t NumShapes = 8; ///< PatShape values (7) rounded up
+  static constexpr size_t NumFine = NumOpcodes * NumShapes * 2;
+
+  static size_t fineKey(arm::Opcode Op, PatShape Shape, bool S) {
+    return (static_cast<size_t>(Op) * NumShapes +
+            static_cast<size_t>(Shape)) * 2 + (S ? 1 : 0);
+  }
+
   std::vector<Rule> Rules;
-  /// Rule indices bucketed by first guest opcode, longest pattern first.
-  std::array<std::vector<int>, 64> ByOpcode;
+  /// All rule indices, longest pattern first, insertion-stable — the
+  /// canonical priority order matchLinear() scans.
+  std::vector<int> Priority;
+  /// Candidate lists per (first opcode, first shape, S), each in
+  /// priority order until optimizeHotOrder() promotes hot rules.
+  std::array<std::vector<int>, NumFine> Fine;
 };
 
 /// The hand-audited full-coverage rule set (the stand-in for the rule

@@ -79,6 +79,19 @@ struct RunReport {
   };
   ProfileStats Profile;
 
+  /// Snapshot of the guest CPU when the run stopped: general registers
+  /// (r0-r15) and the packed NZCV word, taken after flag
+  /// materialization. Captured on every run regardless of kind, so
+  /// differential drivers (tools/rdbt_fuzz, FuzzDifferentialTest) can
+  /// diff final architectural state across translator kinds straight
+  /// from BatchRunner reports without re-opening the Vm.
+  struct FinalArchState {
+    uint32_t Regs[16] = {};
+    uint32_t Nzcv = 0;
+    bool ShutdownRequested = false;
+  };
+  FinalArchState Final;
+
   // --- Shorthands for the quantities the figures report -------------------
 
   uint64_t wall() const { return Counters.Wall; }

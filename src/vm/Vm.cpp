@@ -135,5 +135,10 @@ RunReport Vm::run(uint64_t WallBudget) {
   }
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;
   R.Console = Board_->uart().output();
+  sys::materializeFlags(Board_->Env);
+  for (int I = 0; I < 16; ++I)
+    R.Final.Regs[I] = Board_->Env.Regs[I];
+  R.Final.Nzcv = sys::packFlags(Board_->Env);
+  R.Final.ShutdownRequested = Board_->ShutdownRequested;
   return R;
 }

@@ -4,262 +4,130 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Property-based whole-machine fuzzing: random straight-line-plus-
-/// forward-branch guest programs (ALU with all shapes and S bits,
-/// conditional execution, loads/stores, block transfers, multiplies) run
-/// under the reference interpreter, the QEMU-like baseline, and the rule
-/// translator at every optimization level. Final architectural state —
-/// r0-r12, sp, lr, NZCV — must agree exactly.
+/// \file
+/// Property-based whole-machine fuzzing on the shared generator
+/// (src/fuzz/ProgramGen.h — the same one tools/rdbt_fuzz soaks with, so
+/// the gtest and the standing harness can never drift apart): random
+/// straight-line-plus-forward-branch guest programs run under the
+/// reference interpreter, the QEMU-like baseline, the rule translator at
+/// every optimization level, *and* the reference corpus re-deployed
+/// through the rule:file= path (serialize -> parse -> match). Final
+/// architectural state — r0-r12, sp, lr, NZCV — must agree exactly.
 ///
 /// This is the widest net for translator bugs: any sync planning error,
-/// flag polarity slip, or rule template unsoundness shows up as a
-/// register mismatch on some seed.
+/// flag polarity slip, rule template unsoundness, or corpus
+/// serialization drift shows up as a register mismatch on some seed.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "arm/AsmBuilder.h"
 #include "core/RuleTranslator.h"
-#include "support/Rng.h"
+#include "fuzz/Differential.h"
+#include "fuzz/ProgramGen.h"
+#include "rules/RuleIo.h"
 #include "vm/Vm.h"
 
 #include <gtest/gtest.h>
 
 using namespace rdbt;
-using namespace rdbt::arm;
 
 namespace {
 
-constexpr uint32_t CodeBase = 0x1000;
-constexpr uint32_t DataBase = 0x40000; // flat-mapped scratch buffer
-constexpr uint32_t StackTop = 0x60000;
+uint64_t seedAt(uint64_t Index) { return 0xF0DD + Index * 7919; }
 
-/// Builds a random terminating program: MMU off, SVC mode, ends by
-/// writing the UART shutdown register.
-std::vector<uint32_t> buildRandomProgram(uint64_t Seed) {
-  Rng R(Seed);
-  AsmBuilder A(CodeBase);
-
-  // Deterministic register seeding.
-  for (uint8_t Reg = 0; Reg <= 12; ++Reg)
-    A.movImm32(Reg, R.next32());
-  A.movImm32(RegSP, StackTop);
-  A.movImm32(RegLR, 0);
-  // r4 always holds the data base (memory ops use it).
-  A.movImm32(4, DataBase);
-
-  const Opcode AluOps[] = {Opcode::ADD, Opcode::SUB, Opcode::RSB,
-                           Opcode::AND, Opcode::ORR, Opcode::EOR,
-                           Opcode::BIC, Opcode::ADC, Opcode::SBC};
-  const Cond Conds[] = {Cond::AL, Cond::AL, Cond::AL, Cond::EQ, Cond::NE,
-                        Cond::CS, Cond::CC, Cond::MI, Cond::PL, Cond::HI,
-                        Cond::LS, Cond::GE, Cond::LT, Cond::GT, Cond::LE};
-  const auto Gpr = [&R] { return static_cast<uint8_t>(R.below(13)); };
-  // Destinations avoid r4 so the data base survives.
-  const auto Dst = [&R] {
-    uint8_t Reg;
-    do
-      Reg = static_cast<uint8_t>(R.below(13));
-    while (Reg == 4);
-    return Reg;
-  };
-
-  const unsigned Len = R.range(30, 120);
-  unsigned PendingSkips = 0;
-  Label Skip;
-  for (unsigned N = 0; N < Len; ++N) {
-    if (PendingSkips && R.chance(40)) {
-      A.bind(Skip);
-      PendingSkips = 0;
-    }
-    const Cond C = Conds[R.below(15)];
-    switch (R.below(10)) {
-    case 0: { // ALU reg (with optional shift and S)
-      const Opcode Op = AluOps[R.below(9)];
-      Operand2 O = R.chance(50)
-                       ? Operand2::reg(Gpr())
-                       : Operand2::shiftedReg(
-                             Gpr(),
-                             static_cast<ShiftKind>(R.below(4)),
-                             static_cast<uint8_t>(R.range(1, 31)));
-      A.alu(Op, Dst(), Gpr(), O, C, R.chance(40));
-      break;
-    }
-    case 1: // ALU imm
-      A.alu(AluOps[R.below(9)], Dst(), Gpr(), Operand2::imm(R.below(256)),
-            C, R.chance(40));
-      break;
-    case 2: // reg-shifted-by-reg (helper path in both translators)
-      A.alu(AluOps[R.below(9)], Dst(), Gpr(),
-            Operand2::regShiftedReg(Gpr(),
-                                    static_cast<ShiftKind>(R.below(4)),
-                                    Gpr()),
-            C, R.chance(25));
-      break;
-    case 3: // compare family
-      switch (R.below(4)) {
-      case 0: A.cmp(Gpr(), Operand2::imm(R.below(256)), C); break;
-      case 1: A.cmn(Gpr(), Operand2::reg(Gpr()), C); break;
-      case 2: A.tst(Gpr(), Operand2::imm(R.below(256)), C); break;
-      default: A.teq(Gpr(), Operand2::reg(Gpr()), C); break;
-      }
-      break;
-    case 4: // mov/mvn/movs
-      if (R.chance(50))
-        A.mov(Dst(), Operand2::reg(Gpr()), C, R.chance(40));
-      else
-        A.mvn(Dst(), Operand2::imm(R.below(256)), C, R.chance(40));
-      break;
-    case 5: { // load (word/byte/half) from the data window
-      const Opcode Op = R.chance(60)   ? Opcode::LDR
-                        : R.chance(50) ? Opcode::LDRB
-                                       : Opcode::LDRH;
-      // Halfword encodings only carry 8-bit offsets.
-      const int32_t Off = static_cast<int32_t>(
-          R.below(Op == Opcode::LDRH ? 252 : 1024)) & ~3;
-      A.ldrstr(Op, Dst(), 4, Off, C);
-      break;
-    }
-    case 6: { // store into the data window
-      const Opcode Op = R.chance(60)   ? Opcode::STR
-                        : R.chance(50) ? Opcode::STRB
-                                       : Opcode::STRH;
-      const int32_t Off = static_cast<int32_t>(
-          R.below(Op == Opcode::STRH ? 252 : 1024)) & ~3;
-      A.ldrstr(Op, Gpr(), 4, Off, C);
-      break;
-    }
-    case 7: { // balanced push/pop pair (never r4/sp/pc)
-      uint16_t List = static_cast<uint16_t>(R.range(1, 0x1FFF)) &
-                      static_cast<uint16_t>(~(1u << 4) & ~(1u << 13));
-      if (!List)
-        List = 1;
-      A.push(List);
-      A.alu(Opcode::ADD, Dst(), Gpr(), Operand2::imm(R.below(128)));
-      A.pop(List);
-      break;
-    }
-    case 8: // multiplies
-      if (R.chance(60)) {
-        A.mul(Dst(), Gpr(), Gpr(), C, R.chance(30));
-      } else {
-        uint8_t Lo = Dst(), Hi = Dst();
-        while (Hi == Lo)
-          Hi = Dst();
-        A.umull(Lo, Hi, Gpr(), Gpr(), C);
-      }
-      break;
-    case 9: // forward conditional skip (new TB boundary under test)
-      if (!PendingSkips) {
-        Skip = A.newLabel();
-        A.b(Skip, Conds[1 + R.below(14)]);
-        PendingSkips = 1;
-      } else {
-        A.clz(Dst(), Gpr(), C);
-      }
-      break;
-    }
-  }
-  if (PendingSkips)
-    A.bind(Skip);
-
-  // Terminate: write the UART shutdown register (r4 is rewritten; state
-  // comparison happens on r0-r3, r5-r12 and flags).
-  A.movImm32(4, sys::MmioUart + sys::Uart::RegShutdown);
-  A.str(0, 4, 0);
-  Label Self = A.hereLabel();
-  A.b(Self);
-  A.pool();
-  return A.finish();
+const rules::RuleSet &sharedRules() {
+  static const rules::RuleSet RS = rules::buildReferenceRuleSet();
+  return RS;
 }
 
-struct FinalState {
-  uint32_t Regs[16];
-  uint32_t Nzcv;
-  bool Shutdown;
-
-  bool operator==(const FinalState &O) const {
-    for (unsigned R = 0; R <= 12; ++R)
-      if (R != 4 && Regs[R] != O.Regs[R])
-        return false;
-    return Regs[13] == O.Regs[13] && Nzcv == O.Nzcv &&
-           Shutdown == O.Shutdown;
-  }
-};
-
-FinalState capture(sys::Platform &Board) {
-  FinalState S{};
-  for (unsigned R = 0; R < 16; ++R)
-    S.Regs[R] = Board.Env.Regs[R];
-  sys::materializeFlags(Board.Env);
-  S.Nzcv = sys::packFlags(Board.Env);
-  S.Shutdown = Board.ShutdownRequested;
-  return S;
-}
-
-std::string diffState(const FinalState &A, const FinalState &B) {
-  std::string Text;
-  for (unsigned R = 0; R <= 13; ++R)
-    if (R != 4 && A.Regs[R] != B.Regs[R])
-      Text += " r" + std::to_string(R) + ": " + std::to_string(A.Regs[R]) +
-              " vs " + std::to_string(B.Regs[R]);
-  if (A.Nzcv != B.Nzcv)
-    Text += " NZCV: " + std::to_string(A.Nzcv >> 28) + " vs " +
-            std::to_string(B.Nzcv >> 28);
-  return Text.empty() ? " (shutdown flag)" : Text;
+/// The reference corpus persisted to disk once, so the rule:file= kind
+/// exercises its real load path (write -> read -> deploy) under fuzz.
+const std::string &corpusPath() {
+  static const std::string Path = [] {
+    const std::string P = "FuzzDifferentialTest.reference.rules";
+    std::string Err;
+    EXPECT_TRUE(rules::writeRuleFile(P, sharedRules(), nullptr, &Err))
+        << Err;
+    return P;
+  }();
+  return Path;
 }
 
 /// Runs the flat random image under one executor kind (the Vm's
 /// flat-image mode bypasses the guest kernel) and captures final state.
-/// The reference rule set is built once and shared across all seeds and
-/// opt levels via the .rules() hook.
-FinalState runFlat(const std::vector<uint32_t> &Words,
-                   const std::string &Kind, uint64_t Budget) {
-  static const rules::RuleSet RS = rules::buildReferenceRuleSet();
-  vm::Vm V(vm::VmConfig()
-               .translator(Kind)
-               .rules(&RS)
-               .ramBytes(8 << 20)
-               .wallBudget(Budget)
-               .flatImage(Words, CodeBase));
+/// \p Shared non-null shares one immutable rule set across all seeds and
+/// opt levels via the .rules() hook; rule:file= runs pass null so the
+/// corpus really is loaded from disk.
+fuzz::FinalState runFlat(const std::vector<uint32_t> &Words,
+                         const std::string &Kind,
+                         const rules::RuleSet *Shared, uint64_t Budget) {
+  vm::Vm V(fuzz::flatConfig(Words, Kind, Shared, Budget));
   EXPECT_TRUE(V.valid()) << V.error();
-  V.run();
-  return capture(V.board());
-}
-
-FinalState runInterp(const std::vector<uint32_t> &Words) {
-  return runFlat(Words, "native", 10u * 1000 * 1000);
-}
-
-FinalState runEngine(const std::vector<uint32_t> &Words,
-                     const std::string &Kind) {
-  return runFlat(Words, Kind, 2000ull * 1000 * 1000);
+  return fuzz::finalStateOf(V.run());
 }
 
 class FuzzDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzDifferential, AllExecutorsAgree) {
-  const uint64_t Seed = 0xF0DD + static_cast<uint64_t>(GetParam()) * 7919;
-  const std::vector<uint32_t> Words = buildRandomProgram(Seed);
+  const uint64_t Seed = seedAt(static_cast<uint64_t>(GetParam()));
+  const fuzz::Profile *Mixed = fuzz::findProfile("mixed");
+  ASSERT_NE(Mixed, nullptr);
+  const std::vector<uint32_t> Words =
+      fuzz::render(fuzz::generate(Seed, *Mixed));
 
-  const FinalState Ref = runInterp(Words);
+  const fuzz::FinalState Ref =
+      runFlat(Words, "native", nullptr, fuzz::NativeBudget);
   ASSERT_TRUE(Ref.Shutdown) << "random program did not terminate, seed "
                             << Seed;
 
-  const FinalState Q = runEngine(Words, "qemu");
-  EXPECT_TRUE(Ref == Q) << "qemu-mode diverged, seed " << Seed
-                        << diffState(Ref, Q);
+  const fuzz::FinalState Q =
+      runFlat(Words, "qemu", nullptr, fuzz::EngineBudget);
+  EXPECT_TRUE(fuzz::statesAgree(Ref, Q))
+      << "qemu-mode diverged, seed " << Seed << fuzz::diffStates(Ref, Q);
 
   for (const core::OptLevel L :
        {core::OptLevel::Base, core::OptLevel::Reduction,
         core::OptLevel::Elimination, core::OptLevel::Scheduling}) {
-    const FinalState S =
-        runEngine(Words, vm::VmConfig().optLevel(L).translator());
-    EXPECT_TRUE(Ref == S) << "rule-mode diverged at "
-                          << core::optLevelName(L) << ", seed " << Seed
-                          << diffState(Ref, S);
+    const fuzz::FinalState S =
+        runFlat(Words, vm::VmConfig().optLevel(L).translator(),
+                &sharedRules(), fuzz::EngineBudget);
+    EXPECT_TRUE(fuzz::statesAgree(Ref, S))
+        << "rule-mode diverged at " << core::optLevelName(L) << ", seed "
+        << Seed << fuzz::diffStates(Ref, S);
   }
+
+  // The persisted reference corpus, loaded back through rule:file=.
+  const fuzz::FinalState F = runFlat(Words, "rule:file=" + corpusPath(),
+                                     nullptr, fuzz::EngineBudget);
+  EXPECT_TRUE(fuzz::statesAgree(Ref, F))
+      << "rule:file corpus diverged, seed " << Seed
+      << fuzz::diffStates(Ref, F);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 80));
+
+/// Every named instruction-mix profile must hold the same property — the
+/// biased mixes reach shapes the uniform one rarely concentrates.
+TEST(FuzzDifferentialProfiles, AllProfilesAgree) {
+  for (const fuzz::Profile &P : fuzz::allProfiles()) {
+    for (uint64_t I = 0; I < 6; ++I) {
+      const uint64_t Seed = seedAt(1000 + I * 13);
+      const std::vector<uint32_t> Words =
+          fuzz::render(fuzz::generate(Seed, P));
+      const fuzz::FinalState Ref =
+          runFlat(Words, "native", nullptr, fuzz::NativeBudget);
+      ASSERT_TRUE(Ref.Shutdown)
+          << P.Name << " program did not terminate, seed " << Seed;
+      for (const char *Kind : {"qemu", "rule:scheduling"}) {
+        const fuzz::FinalState S = runFlat(
+            Words, Kind,
+            std::string(Kind) == "qemu" ? nullptr : &sharedRules(),
+            fuzz::EngineBudget);
+        EXPECT_TRUE(fuzz::statesAgree(Ref, S))
+            << Kind << " diverged, profile " << P.Name << ", seed " << Seed
+            << fuzz::diffStates(Ref, S);
+      }
+    }
+  }
+}
 
 } // namespace

@@ -1,0 +1,159 @@
+//===- tests/FuzzShrinkTest.cpp - Reproducer-minimization properties -------===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the fuzz shrinker (src/fuzz/Shrink.h): it is a strict
+/// no-op on programs the oracle passes; it is deterministic (same input,
+/// same minimized list, same oracle-call count); and on a real seeded
+/// mismatch — the planted clz translator bug against the reference
+/// interpreter — it produces a minimal reproducer of at most 8
+/// instructions that still fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differential.h"
+#include "fuzz/ProgramGen.h"
+#include "fuzz/Shrink.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace rdbt;
+
+namespace {
+
+uint64_t seedAt(uint64_t Index) { return 0xF0DD + Index * 7919; }
+
+/// Pure synthetic oracle: fails iff some op is a clz. Exercises the
+/// chunked-removal logic without any VM in the loop.
+bool containsClz(const std::vector<fuzz::GenOp> &Ops) {
+  for (const fuzz::GenOp &Op : Ops)
+    if (Op.K == fuzz::GenKind::Clz)
+      return true;
+  return false;
+}
+
+TEST(FuzzShrink, SyntheticMinimizesToSingleOp) {
+  const fuzz::Profile *Mixed = fuzz::findProfile("mixed");
+  ASSERT_NE(Mixed, nullptr);
+  // Find a generated program containing a clz op.
+  for (uint64_t I = 0; I < 64; ++I) {
+    const fuzz::GenProgram P = fuzz::generate(seedAt(I), *Mixed);
+    if (!containsClz(P.Ops))
+      continue;
+    const fuzz::ShrinkResult Min = fuzz::shrink(P.Ops, containsClz);
+    EXPECT_TRUE(Min.WasFailing);
+    ASSERT_EQ(Min.Ops.size(), 1u);
+    EXPECT_EQ(Min.Ops[0].K, fuzz::GenKind::Clz);
+    return;
+  }
+  FAIL() << "no generated program contained clz in 64 seeds";
+}
+
+TEST(FuzzShrink, NoOpOnAgreeingOracle) {
+  const fuzz::Profile *Mixed = fuzz::findProfile("mixed");
+  ASSERT_NE(Mixed, nullptr);
+  const fuzz::GenProgram P = fuzz::generate(seedAt(3), *Mixed);
+  const fuzz::ShrinkResult Min =
+      fuzz::shrink(P.Ops, [](const std::vector<fuzz::GenOp> &) {
+        return false; // nothing ever fails
+      });
+  EXPECT_FALSE(Min.WasFailing);
+  EXPECT_EQ(Min.OracleCalls, 1u);
+  ASSERT_EQ(Min.Ops.size(), P.Ops.size());
+  for (size_t I = 0; I < P.Ops.size(); ++I)
+    EXPECT_EQ(Min.Ops[I].K, P.Ops[I].K) << "op " << I;
+}
+
+/// The end-to-end case the fuzz harness relies on: a known translator
+/// bug (the planted unsound clz rule) against the reference interpreter.
+class PlantedBugShrink : public ::testing::Test {
+protected:
+  static const rules::RuleSet &buggyRules() {
+    static const rules::RuleSet RS = fuzz::buildPlantedBugRuleSet();
+    return RS;
+  }
+
+  /// True when native and the buggy rule translator disagree on the
+  /// rendered candidate.
+  static bool stillFails(const fuzz::GenProgram &Prog,
+                         const std::vector<fuzz::GenOp> &Ops) {
+    const std::vector<uint32_t> Words = fuzz::render(Prog, Ops);
+    vm::Vm Ref(fuzz::flatConfig(Words, "native", nullptr,
+                                fuzz::NativeBudget));
+    const fuzz::FinalState A = fuzz::finalStateOf(Ref.run());
+    if (!A.Shutdown)
+      return false;
+    vm::Vm Sut(fuzz::flatConfig(Words, "rule:scheduling", &buggyRules(),
+                                fuzz::EngineBudget));
+    return !fuzz::statesAgree(A, fuzz::finalStateOf(Sut.run()));
+  }
+
+  /// First seed in the window whose program trips the planted bug.
+  static const fuzz::GenProgram &mismatchProgram() {
+    static const fuzz::GenProgram Prog = [] {
+      const fuzz::Profile *Mixed = fuzz::findProfile("mixed");
+      for (uint64_t I = 0; I < 64; ++I) {
+        fuzz::GenProgram P = fuzz::generate(seedAt(I), *Mixed);
+        if (stillFails(P, P.Ops))
+          return P;
+      }
+      return fuzz::GenProgram();
+    }();
+    return Prog;
+  }
+};
+
+TEST_F(PlantedBugShrink, ShrinksToMinimalReproducerDeterministically) {
+  const fuzz::GenProgram &Prog = mismatchProgram();
+  ASSERT_FALSE(Prog.Ops.empty())
+      << "planted clz bug not caught in 64 seeds";
+
+  const fuzz::Oracle StillFails = [&](const std::vector<fuzz::GenOp> &Ops) {
+    return stillFails(Prog, Ops);
+  };
+  const fuzz::ShrinkResult A = fuzz::shrink(Prog.Ops, StillFails);
+  EXPECT_TRUE(A.WasFailing);
+  // The acceptance bound: a planted single-instruction bug must shrink
+  // to a tight reproducer.
+  EXPECT_LE(fuzz::renderedInstrCount(A.Ops), 8u);
+  // The reproducer still fails, and still contains the buggy shape.
+  EXPECT_TRUE(StillFails(A.Ops));
+  EXPECT_TRUE(containsClz(A.Ops));
+
+  // Determinism: a second run takes the identical path.
+  const fuzz::ShrinkResult B = fuzz::shrink(Prog.Ops, StillFails);
+  EXPECT_EQ(A.OracleCalls, B.OracleCalls);
+  const std::vector<uint32_t> WordsA = fuzz::render(Prog, A.Ops);
+  const std::vector<uint32_t> WordsB = fuzz::render(Prog, B.Ops);
+  EXPECT_EQ(WordsA, WordsB);
+}
+
+TEST_F(PlantedBugShrink, NoOpOnAgreeingProgramAgainstRealVm) {
+  // The same program under the *correct* reference corpus agrees, so the
+  // shrinker must leave it untouched after a single oracle run.
+  const fuzz::GenProgram &Prog = mismatchProgram();
+  ASSERT_FALSE(Prog.Ops.empty());
+  static const rules::RuleSet Good = rules::buildReferenceRuleSet();
+  unsigned Calls = 0;
+  const fuzz::Oracle StillFails = [&](const std::vector<fuzz::GenOp> &Ops) {
+    ++Calls;
+    const std::vector<uint32_t> Words = fuzz::render(Prog, Ops);
+    vm::Vm Ref(fuzz::flatConfig(Words, "native", nullptr,
+                                fuzz::NativeBudget));
+    const fuzz::FinalState A = fuzz::finalStateOf(Ref.run());
+    vm::Vm Sut(fuzz::flatConfig(Words, "rule:scheduling", &Good,
+                                fuzz::EngineBudget));
+    return !fuzz::statesAgree(A, fuzz::finalStateOf(Sut.run()));
+  };
+  const fuzz::ShrinkResult Min = fuzz::shrink(Prog.Ops, StillFails);
+  EXPECT_FALSE(Min.WasFailing);
+  EXPECT_EQ(Min.OracleCalls, 1u);
+  EXPECT_EQ(Calls, 1u);
+  EXPECT_EQ(fuzz::render(Prog, Min.Ops), fuzz::render(Prog));
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/RuleSetIndexTest.cpp - Indexed vs linear matcher equivalence --===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Holds the contract the fine-indexed matcher (rules/RuleSet.h) is built
+/// on: match() and matchLinear() are bit-identical — same selected rule,
+/// same consumed count, same MatchStats counters including the per-rule
+/// hit vector — across the checked-in reference corpus
+/// (bench/baselines/reference.rules), for multi-instruction windows and
+/// for the single-instruction needsHelper-style probes the translator
+/// issues, and both before and after optimizeHotOrder() reorders the
+/// buckets. The probe stream comes from the fuzz generator across every
+/// profile, so the corpus-stress shapes are all represented.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arm/Decoder.h"
+#include "fuzz/ProgramGen.h"
+#include "rules/RuleIo.h"
+#include "rules/RuleSet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rdbt;
+
+namespace {
+
+/// The probe stream: rendered fuzz programs for every profile, decoded.
+/// Includes system/memory/branch encodings the matcher must reject and
+/// the literal-pool data words (decoded as whatever they happen to be).
+const std::vector<arm::Inst> &probeStream() {
+  static const std::vector<arm::Inst> Stream = [] {
+    std::vector<arm::Inst> S;
+    for (const fuzz::Profile &P : fuzz::allProfiles())
+      for (uint64_t Seed = 1; Seed <= 3; ++Seed)
+        for (const uint32_t W : fuzz::render(fuzz::generate(Seed * 77, P)))
+          S.push_back(arm::decode(W));
+    return S;
+  }();
+  return Stream;
+}
+
+/// The checked-in deployed corpus (falls back to the built-in reference
+/// set if the build did not provide the path).
+rules::RuleSet loadCheckedInCorpus() {
+  rules::RuleSet RS;
+#ifdef RDBT_REFERENCE_RULES
+  std::string Err;
+  EXPECT_TRUE(rules::readRuleFile(RDBT_REFERENCE_RULES, RS, &Err)) << Err;
+#else
+  RS = rules::buildReferenceRuleSet();
+#endif
+  return RS;
+}
+
+struct ProbeResult {
+  const rules::Rule *Rule;
+  size_t Consumed;
+};
+
+/// Runs every window of \p Insts through one matcher.
+template <typename Fn>
+std::vector<ProbeResult> sweep(const std::vector<arm::Inst> &Insts, Fn Match,
+                               rules::MatchStats &Stats, size_t MaxWindow) {
+  std::vector<ProbeResult> Out;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const rules::Rule *R = nullptr;
+    rules::Binding B;
+    const size_t Window = std::min(MaxWindow, Insts.size() - I);
+    const size_t Len = Match(Insts.data() + I, Window, &R, B, &Stats);
+    Out.push_back({R, Len});
+  }
+  return Out;
+}
+
+void expectIdentical(const rules::RuleSet &RS, size_t MaxWindow) {
+  const std::vector<arm::Inst> &Insts = probeStream();
+  rules::MatchStats IdxStats, LinStats;
+  const auto Indexed = sweep(
+      Insts,
+      [&RS](const arm::Inst *I, size_t N, const rules::Rule **R,
+            rules::Binding &B, rules::MatchStats *S) {
+        return RS.match(I, N, R, B, S);
+      },
+      IdxStats, MaxWindow);
+  const auto Linear = sweep(
+      Insts,
+      [&RS](const arm::Inst *I, size_t N, const rules::Rule **R,
+            rules::Binding &B, rules::MatchStats *S) {
+        return RS.matchLinear(I, N, R, B, S);
+      },
+      LinStats, MaxWindow);
+
+  ASSERT_EQ(Indexed.size(), Linear.size());
+  size_t Hits = 0;
+  for (size_t I = 0; I < Indexed.size(); ++I) {
+    // Same Rule object, not just an equivalent one.
+    EXPECT_EQ(Indexed[I].Rule, Linear[I].Rule) << "probe " << I;
+    EXPECT_EQ(Indexed[I].Consumed, Linear[I].Consumed) << "probe " << I;
+    Hits += Indexed[I].Rule != nullptr;
+  }
+  // The stream must actually exercise the matcher.
+  EXPECT_GT(Hits, 100u);
+
+  EXPECT_EQ(IdxStats.Attempts, LinStats.Attempts);
+  EXPECT_EQ(IdxStats.Hits, LinStats.Hits);
+  for (size_t R = 0; R < RS.size(); ++R)
+    EXPECT_EQ(IdxStats.hitsFor(R), LinStats.hitsFor(R)) << "rule " << R;
+}
+
+TEST(RuleSetIndex, WindowedProbesIdentical) {
+  expectIdentical(loadCheckedInCorpus(), ~size_t(0));
+}
+
+/// The translator's needsHelper probes are single-instruction matches;
+/// multi-pattern rules must lose to them identically on both paths.
+TEST(RuleSetIndex, NeedsHelperProbesIdentical) {
+  expectIdentical(loadCheckedInCorpus(), 1);
+}
+
+TEST(RuleSetIndex, HotOrderPreservesResults) {
+  const rules::RuleSet RS = loadCheckedInCorpus();
+  const std::vector<arm::Inst> &Insts = probeStream();
+
+  // Baseline results and the warmup counters, from the canonical order.
+  rules::MatchStats Warm;
+  std::vector<ProbeResult> Before;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const rules::Rule *R = nullptr;
+    rules::Binding B;
+    const size_t Len = RS.match(Insts.data() + I, Insts.size() - I, &R, B,
+                                &Warm);
+    Before.push_back({R, Len});
+  }
+
+  rules::RuleSet Hot;
+  for (size_t I = 0; I < RS.size(); ++I)
+    Hot.add(RS.rule(I));
+  Hot.optimizeHotOrder(Warm);
+
+  // After reordering: same selections (by name — Hot holds copies), same
+  // counts, on both the indexed and the linear path.
+  rules::MatchStats HotStats, HotLinStats;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const rules::Rule *R = nullptr;
+    const rules::Rule *RL = nullptr;
+    rules::Binding B, BL;
+    const size_t Len =
+        Hot.match(Insts.data() + I, Insts.size() - I, &R, B, &HotStats);
+    const size_t LenL = Hot.matchLinear(Insts.data() + I, Insts.size() - I,
+                                        &RL, BL, &HotLinStats);
+    EXPECT_EQ(Len, Before[I].Consumed) << "probe " << I;
+    EXPECT_EQ(R ? R->Name : "",
+              Before[I].Rule ? Before[I].Rule->Name : "")
+        << "probe " << I;
+    EXPECT_EQ(Len, LenL) << "probe " << I;
+    EXPECT_EQ(R, RL) << "probe " << I;
+  }
+  EXPECT_EQ(HotStats.Attempts, Warm.Attempts);
+  EXPECT_EQ(HotStats.Hits, Warm.Hits);
+}
+
+/// The corpus-thinned variants (the rulegen loop's --drop sets) must
+/// stay equivalent too — a dropped shape empties fine buckets, which is
+/// exactly where an indexing bug would hide.
+TEST(RuleSetIndex, FilteredSetsIdentical) {
+  const rules::RuleSet Full = loadCheckedInCorpus();
+  for (const rules::PatShape Drop :
+       {rules::PatShape::DpImm, rules::PatShape::DpRegShiftImm,
+        rules::PatShape::MulLong}) {
+    expectIdentical(rules::filterRuleSetByShape(Full, Drop), ~size_t(0));
+  }
+}
+
+} // namespace

@@ -304,8 +304,9 @@ int main(int argc, char **argv) {
           {Workload, R.Label, bench::fromReport(R, Info->UsesEngine)});
     printRow(R);
     if (!R.Ok) {
-      std::fprintf(stderr, "FAIL: %s stopped with '%s'\n", R.Spec.c_str(),
-                   R.stopName());
+      std::fprintf(stderr, "FAIL: %s stopped with '%s'%s%s\n", R.Spec.c_str(),
+                   R.stopName(), R.Error.empty() ? "" : ": ",
+                   R.Error.c_str());
       ++Failures;
       continue;
     }
