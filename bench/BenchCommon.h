@@ -101,6 +101,12 @@ struct RunStats {
   uint64_t GapSeqs = 0;
   uint64_t GapTranslations = 0;
   uint64_t GapExecs = 0;
+  // Host wall-clock timing, split at the serving boundary (see
+  // vm::RunReport::BootNs/RunNs). Nondeterministic, so excluded from the
+  // perf-gated matrix JSON; writeRunStatsFields emits them only when
+  // asked (rdbt_serve's BENCH_serve.json does).
+  uint64_t BootNs = 0;
+  uint64_t RunNs = 0;
   bool Ok = false;
 
   double hostPerGuest() const {
@@ -151,6 +157,8 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.GapSeqs = R.Profile.GapSeqs;
   S.GapTranslations = R.Profile.GapTranslations;
   S.GapExecs = R.Profile.GapExecs;
+  S.BootNs = R.BootNs;
+  S.RunNs = R.RunNs;
   return S;
 }
 
@@ -221,9 +229,13 @@ inline std::string jsonEscape(const std::string &In) {
 /// Emits the canonical RunStats counter fields (the key set every
 /// BENCH_*.json run record and BENCH_matrix.json cell shares) — integer
 /// counters only, in a fixed order, so two emissions of equal stats are
-/// byte-identical.
+/// byte-identical. \p WithTiming additionally appends the wall-clock
+/// boot_ns/run_ns split; it defaults off because timing is
+/// nondeterministic and must never enter a perf-gated or
+/// byte-compared document (BENCH_matrix.json stays timing-free).
 template <typename Stream>
-inline void writeRunStatsFields(Stream &OS, const RunStats &S) {
+inline void writeRunStatsFields(Stream &OS, const RunStats &S,
+                                bool WithTiming = false) {
   OS << "\"ok\": " << (S.Ok ? "true" : "false") << ", \"wall\": " << S.Wall
      << ", \"guest_instrs\": " << S.GuestInstrs
      << ", \"mem_instrs\": " << S.MemInstrs
@@ -245,6 +257,8 @@ inline void writeRunStatsFields(Stream &OS, const RunStats &S) {
      << ", \"gap_seqs\": " << S.GapSeqs
      << ", \"gap_translations\": " << S.GapTranslations
      << ", \"gap_execs\": " << S.GapExecs;
+  if (WithTiming)
+    OS << ", \"boot_ns\": " << S.BootNs << ", \"run_ns\": " << S.RunNs;
 }
 
 /// One cell of a scenario matrix: a stable "<kind>/<workload>@<scale>"

@@ -39,7 +39,7 @@ int CodeCache::insert(host::HostBlock Block, uint32_t MmuIdx,
     Stats.RetranslatedGuestInstrs += Block.NumGuestInstrs;
   }
 
-  E.Block = std::make_unique<host::HostBlock>(std::move(Block));
+  E.Block = std::make_shared<host::HostBlock>(std::move(Block));
   for (uint32_t P = E.FirstPage; P <= E.LastPage; ++P)
     PageIndex[P].push_back(Id);
   AsidIndex[E.Asid].push_back(Id);
@@ -60,16 +60,17 @@ void CodeCache::invalidateOne(int TbId) {
     Entry *F = entry(FromId);
     if (!F || !F->Block)
       continue; // predecessor died first; edge is stale
-    host::HostBlock::Chain &Ch = F->Block->Chains[Slot];
-    if (Ch.TargetTb != TbId)
+    if (F->Block->Chains[Slot].TargetTb != TbId)
       continue; // slot was re-pointed after a previous unlink
+    host::HostBlock *FB = privateBlock(*F); // about to mutate
+    host::HostBlock::Chain &Ch = FB->Chains[Slot];
     Ch.TargetTb = -1;
     ++Stats.ChainsUnlinked;
     if (Ch.FlagSaveBegin >= 0) {
       bool Revived = false;
       for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I)
-        if (F->Block->Code[I].Dead) {
-          F->Block->Code[I].Dead = false;
+        if (FB->Code[I].Dead) {
+          FB->Code[I].Dead = false;
           Revived = true;
         }
       if (Revived)
@@ -140,7 +141,8 @@ bool CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
     return false;
   }
 
-  host::HostBlock::Chain &Ch = From->Block->Chains[Slot];
+  host::HostBlock *FB = privateBlock(*From); // about to patch the slot
+  host::HostBlock::Chain &Ch = FB->Chains[Slot];
   Ch.TargetTb = ToTb;
   To->Incoming.emplace_back(FromTb, Slot);
   ++Stats.ChainsMade;
@@ -148,8 +150,8 @@ bool CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
     return true;
   ++Stats.ChainsWithElision;
   for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I) {
-    if (!From->Block->Code[I].Dead) {
-      From->Block->Code[I].Dead = true;
+    if (!FB->Code[I].Dead) {
+      FB->Code[I].Dead = true;
       ++Stats.ElidedSyncInstrs;
     }
   }
@@ -161,7 +163,42 @@ const host::HostBlock *CodeCache::block(int TbId) const {
   return E ? E->Block.get() : nullptr;
 }
 
+host::HostBlock *CodeCache::privateBlock(Entry &E) {
+  if (E.Block.use_count() > 1) {
+    E.Block = std::make_shared<host::HostBlock>(*E.Block);
+    ++Stats.CowBlockCopies;
+  }
+  return E.Block.get();
+}
+
 host::HostBlock *CodeCache::mutableBlock(int TbId) {
   Entry *E = entry(TbId);
-  return E ? E->Block.get() : nullptr;
+  return E && E->Block ? privateBlock(*E) : nullptr;
+}
+
+std::shared_ptr<const CodeCache::Image> CodeCache::capture() const {
+  auto Img = std::make_shared<Image>();
+  Img->Entries = Entries; // blocks shared (shared_ptr copies), not cloned
+  Img->BaseId = BaseId;
+  Img->LiveBlocks = LiveBlocks;
+  Img->Index = Index;
+  Img->PageIndex = PageIndex;
+  Img->AsidIndex = AsidIndex;
+  Img->SeenKeys = SeenKeys;
+  Img->Stats = Stats;
+  return Img;
+}
+
+void CodeCache::adopt(const Image &Img) {
+  assert(Entries.empty() && BaseId == 0 && LiveBlocks == 0 &&
+         "adopt() targets a freshly constructed cache");
+  Entries = Img.Entries; // shares the image's blocks until first patch
+  BaseId = Img.BaseId;
+  LiveBlocks = Img.LiveBlocks;
+  Index = Img.Index;
+  PageIndex = Img.PageIndex;
+  AsidIndex = Img.AsidIndex;
+  SeenKeys = Img.SeenKeys;
+  Stats = Img.Stats;
+  Stats.AdoptedTbs += LiveBlocks;
 }

@@ -64,6 +64,13 @@ struct CacheStats {
   uint64_t ElisionsReverted = 0;    ///< elided flag-saves resurrected
   uint64_t StaleChainRequests = 0;  ///< chain() calls refused (stale ids)
   uint64_t ElidedSyncInstrs = 0;    ///< §III-C: sync instrs marked dead
+  /// Snapshot/fork accounting (vm/Snapshot.h). AdoptedTbs counts blocks
+  /// inherited ready-translated from a snapshot image via adopt();
+  /// CowBlockCopies counts blocks privatized because a fork patched a
+  /// chain slot (or unlinked one) in a block still shared with the
+  /// snapshot — the "share TBs read-only, copy on first patch" protocol.
+  uint64_t AdoptedTbs = 0;
+  uint64_t CowBlockCopies = 0;
   /// Live blocks at report time — a snapshot, not a counter; filled by
   /// the report producer (vm::Vm) from CodeCache::size(). The direct
   /// retention signal: under the blanket policy it collapses to the last
@@ -73,7 +80,43 @@ struct CacheStats {
 };
 
 class CodeCache : public host::CodeSource {
+  /// One slot in the id space. Block is null once invalidated; the
+  /// metadata stays so reverse edges can be validated lazily.
+  ///
+  /// The block is held by shared_ptr so a captured Image (below) can
+  /// share translated code with any number of forked caches: use_count
+  /// == 1 proves this cache is the sole owner and may mutate in place;
+  /// otherwise the mutating paths (chain patching, chain unlinking)
+  /// privatize the block first — see privateBlock().
+  struct Entry {
+    std::shared_ptr<host::HostBlock> Block;
+    uint64_t Key = 0;
+    uint32_t Asid = 0;
+    uint32_t FirstPage = 0; ///< guest page numbers covered (inclusive)
+    uint32_t LastPage = 0;
+    /// Reverse chain edges: (fromTbId, slot) pairs that patched a direct
+    /// jump to this block. Entries may be stale (the predecessor died or
+    /// re-chained); unlinking validates each one against the live chain.
+    std::vector<std::pair<int, int>> Incoming;
+  };
+
 public:
+  /// A frozen copy of the whole cache — entries (blocks shared, not
+  /// copied), id space, lookup indices, retranslation memory, and stats —
+  /// produced by capture() and re-installed into forked caches by
+  /// adopt(). Immutable by contract: holders only ever pass it around as
+  /// shared_ptr<const Image>.
+  struct Image {
+    std::vector<Entry> Entries;
+    int BaseId = 0;
+    size_t LiveBlocks = 0;
+    std::unordered_map<uint64_t, int> Index;
+    std::unordered_map<uint32_t, std::vector<int>> PageIndex;
+    std::unordered_map<uint32_t, std::vector<int>> AsidIndex;
+    std::unordered_set<uint64_t> SeenKeys;
+    CacheStats Stats;
+  };
+
   /// Returns the TB id for (Pc, MmuIdx, Asid) or -1.
   int find(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) const;
 
@@ -102,7 +145,21 @@ public:
   bool chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave);
 
   const host::HostBlock *block(int TbId) const override;
+  /// Mutable access privatizes a block shared with a snapshot image
+  /// first, exactly like the internal chain-patching paths.
   host::HostBlock *mutableBlock(int TbId);
+
+  /// Freezes the cache into an immutable Image. Blocks are shared, not
+  /// copied, so a capture is O(metadata); after it, this cache's own
+  /// mutating paths privatize blocks on demand (the capture must stay
+  /// pristine even if the captured session keeps running).
+  std::shared_ptr<const Image> capture() const;
+
+  /// Replaces this cache's contents with \p Img (fork construction). The
+  /// warmed blocks arrive ready to execute and chained exactly as at
+  /// capture time; SeenKeys comes along, so Stats.Retranslations keeps
+  /// proving forks do not re-pay translation. Call only on a fresh cache.
+  void adopt(const Image &Img);
 
   /// Number of live (translated, not invalidated) blocks.
   size_t size() const { return LiveBlocks; }
@@ -110,20 +167,6 @@ public:
   CacheStats Stats;
 
 private:
-  /// One slot in the id space. Block is null once invalidated; the
-  /// metadata stays so reverse edges can be validated lazily.
-  struct Entry {
-    std::unique_ptr<host::HostBlock> Block;
-    uint64_t Key = 0;
-    uint32_t Asid = 0;
-    uint32_t FirstPage = 0; ///< guest page numbers covered (inclusive)
-    uint32_t LastPage = 0;
-    /// Reverse chain edges: (fromTbId, slot) pairs that patched a direct
-    /// jump to this block. Entries may be stale (the predecessor died or
-    /// re-chained); unlinking validates each one against the live chain.
-    std::vector<std::pair<int, int>> Incoming;
-  };
-
   std::vector<Entry> Entries; ///< index = id - BaseId
   int BaseId = 0;             ///< ids retired by full flushes
   size_t LiveBlocks = 0;
@@ -157,6 +200,12 @@ private:
   /// Unlinks incoming chains and frees the block. The caller maintains
   /// the secondary indices.
   void invalidateOne(int TbId);
+
+  /// Returns a mutable pointer to \p E's block, cloning it first when it
+  /// is still shared with a snapshot image (use_count > 1 — safe exactly
+  /// because use_count == 1 proves exclusive ownership; images are
+  /// immutable so nobody else's count can rise concurrently).
+  host::HostBlock *privateBlock(Entry &E);
 };
 
 } // namespace dbt

@@ -70,6 +70,13 @@ public:
     Machine.MaxInstrsPerRun = MaxHostInstrsPerRun;
   }
 
+  /// Restores the host-machine counters captured in a vm::Snapshot, so a
+  /// forked session's cumulative counters continue exactly where the
+  /// captured session stopped (bitwise-identical to never having forked).
+  /// Call before the first run(); the wall budget is relative, so the
+  /// restored Wall does not eat into it.
+  void restoreCounters(const host::ExecCounters &C) { Machine.Counters = C; }
+
   EngineStats Stats;
   sys::Mmu &mmu() { return Mmu_; }
   CodeCache &codeCache() { return Cache; }

@@ -15,27 +15,91 @@ using namespace rdbt::sys;
 uint32_t PhysMem::read(uint32_t Pa, unsigned Size) const {
   assert(contains(Pa, Size) && "physical read out of RAM");
   uint32_t Value = 0;
-  std::memcpy(&Value, &Bytes[Pa], Size);
+  // Naturally-aligned 1/2/4-byte accesses never cross a 4 KiB page, so
+  // the COW path reads from exactly one page view.
+  std::memcpy(&Value,
+              Base ? pageForRead(Pa >> PageShift) + (Pa & (PageBytes - 1))
+                   : &Bytes[Pa],
+              Size);
   return Value;
+}
+
+uint8_t *PhysMem::pageForWrite(uint32_t Page) {
+  std::unique_ptr<uint8_t[]> &P = Pages[Page];
+  if (!P) {
+    P.reset(new uint8_t[PageBytes]);
+    std::memcpy(P.get(),
+                Base->data() + (static_cast<size_t>(Page) << PageShift),
+                PageBytes);
+    ++PrivatePages;
+  }
+  return P.get();
 }
 
 void PhysMem::write(uint32_t Pa, unsigned Size, uint32_t Value) {
   assert(contains(Pa, Size) && "physical write out of RAM");
-  std::memcpy(&Bytes[Pa], &Value, Size);
+  std::memcpy(Base ? pageForWrite(Pa >> PageShift) + (Pa & (PageBytes - 1))
+                   : &Bytes[Pa],
+              &Value, Size);
 }
 
 void PhysMem::writeBlock(uint32_t Pa, const void *Src, uint32_t Len) {
   assert(contains(Pa, Len) && "physical block write out of RAM");
-  std::memcpy(&Bytes[Pa], Src, Len);
+  if (!Base) {
+    std::memcpy(&Bytes[Pa], Src, Len);
+    return;
+  }
+  // COW: split the transfer at page boundaries, privatizing each page.
+  const uint8_t *From = static_cast<const uint8_t *>(Src);
+  while (Len) {
+    const uint32_t Off = Pa & (PageBytes - 1);
+    const uint32_t Chunk = Len < PageBytes - Off ? Len : PageBytes - Off;
+    std::memcpy(pageForWrite(Pa >> PageShift) + Off, From, Chunk);
+    Pa += Chunk;
+    From += Chunk;
+    Len -= Chunk;
+  }
 }
 
 void PhysMem::readBlock(uint32_t Pa, void *Dst, uint32_t Len) const {
   assert(contains(Pa, Len) && "physical block read out of RAM");
-  std::memcpy(Dst, &Bytes[Pa], Len);
+  if (!Base) {
+    std::memcpy(Dst, &Bytes[Pa], Len);
+    return;
+  }
+  uint8_t *To = static_cast<uint8_t *>(Dst);
+  while (Len) {
+    const uint32_t Off = Pa & (PageBytes - 1);
+    const uint32_t Chunk = Len < PageBytes - Off ? Len : PageBytes - Off;
+    std::memcpy(To, pageForRead(Pa >> PageShift) + Off, Chunk);
+    Pa += Chunk;
+    To += Chunk;
+    Len -= Chunk;
+  }
 }
 
 void PhysMem::loadWords(uint32_t Pa, const std::vector<uint32_t> &Words) {
   writeBlock(Pa, Words.data(), static_cast<uint32_t>(Words.size() * 4));
+}
+
+std::shared_ptr<const std::vector<uint8_t>> PhysMem::snapshotBytes() const {
+  if (Base && PrivatePages == 0)
+    return Base; // untouched fork: the base IS the current contents
+  auto Image = std::make_shared<std::vector<uint8_t>>(size());
+  readBlock(0, Image->data(), size());
+  return Image;
+}
+
+void PhysMem::adoptCow(std::shared_ptr<const std::vector<uint8_t>> Image) {
+  assert(Image && Image->size() == size() &&
+         "COW image must match the configured RAM size");
+  assert(Image->size() % PageBytes == 0 && "RAM sizes are page multiples");
+  Base = std::move(Image);
+  Bytes.clear();
+  Bytes.shrink_to_fit();
+  Pages.clear();
+  Pages.resize(Base->size() >> PageShift);
+  PrivatePages = 0;
 }
 
 Device::~Device() = default;
@@ -204,12 +268,16 @@ uint64_t DiskDevice::nextDeadline() const { return Deadline; }
 void DiskDevice::onDeadline() {
   const uint32_t Bytes = Count * SectorSize;
   const uint32_t MediaOff = Sector * SectorSize;
-  if (MediaOff + Bytes <= Media.size() &&
+  if (MediaOff + Bytes <= Media->size() &&
       Parent.Ram.contains(DmaAddr, Bytes)) {
-    if (PendingCmd == CmdRead)
-      Parent.Ram.writeBlock(DmaAddr, &Media[MediaOff], Bytes);
-    else
-      Parent.Ram.readBlock(DmaAddr, &Media[MediaOff], Bytes);
+    if (PendingCmd == CmdRead) {
+      Parent.Ram.writeBlock(DmaAddr, &(*Media)[MediaOff], Bytes);
+    } else {
+      // A sector write mutates the media: privatize an image shared with
+      // a snapshot first, so sibling forks keep reading pristine media.
+      ensureOwnedMedia();
+      Parent.Ram.readBlock(DmaAddr, &(*Media)[MediaOff], Bytes);
+    }
   }
   PendingCmd = 0;
   Deadline = ~0ull;
@@ -223,6 +291,16 @@ void DiskDevice::onDeadline() {
 Platform::Platform(uint32_t RamSize, uint32_t DiskSectors,
                    uint64_t DiskLatency)
     : Ram(RamSize) {
+  initBoard(DiskSectors, DiskLatency);
+}
+
+Platform::Platform(std::shared_ptr<const std::vector<uint8_t>> RamImage,
+                   uint32_t DiskSectors, uint64_t DiskLatency)
+    : Ram(std::move(RamImage)) {
+  initBoard(DiskSectors, DiskLatency);
+}
+
+void Platform::initBoard(uint32_t DiskSectors, uint64_t DiskLatency) {
   resetEnv(Env);
   UartDev = std::make_unique<Uart>(*this, MmioUart);
   Intc = std::make_unique<IntController>(*this, MmioIntc);
@@ -269,6 +347,24 @@ uint64_t Platform::fastForward() {
   const uint64_t Skipped = Deadline - Now;
   advance(Skipped);
   return Skipped;
+}
+
+void Platform::captureState(PlatformState &S) const {
+  UartDev->saveState(S);
+  Intc->saveState(S);
+  Timer->saveState(S);
+  Disk->saveState(S);
+  S.Now = Now;
+  S.ShutdownRequested = ShutdownRequested;
+}
+
+void Platform::restoreState(const PlatformState &S) {
+  UartDev->loadState(S);
+  Intc->loadState(S);
+  Timer->loadState(S);
+  Disk->loadState(S);
+  Now = S.Now;
+  ShutdownRequested = S.ShutdownRequested;
 }
 
 Device *Platform::deviceAt(uint32_t Pa) {

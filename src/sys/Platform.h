@@ -32,14 +32,35 @@ namespace rdbt {
 namespace sys {
 
 /// Flat guest RAM starting at physical address 0.
+///
+/// Two storage modes (vm/Snapshot.h rides on the second):
+///
+///  * **Owned** (the default): one flat byte vector, exactly the
+///    pre-snapshot behavior and cost.
+///
+///  * **Copy-on-write fork**: after adoptCow(), reads come from an
+///    immutable shared base image and the first write to a 4 KiB page
+///    allocates a private copy of just that page. The base is never
+///    mutated, so any number of forked boards can share it concurrently;
+///    naturally-aligned 1/2/4-byte accesses never cross a page, and the
+///    block operations split per page.
 class PhysMem {
 public:
+  enum : uint32_t { PageBytes = 4096, PageShift = 12 };
+
   explicit PhysMem(uint32_t Size) : Bytes(Size, 0) {}
 
-  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+  /// Constructs directly in COW mode over \p Image — the fork fast path:
+  /// no owned allocation, no zero-fill, just page-table bookkeeping.
+  explicit PhysMem(std::shared_ptr<const std::vector<uint8_t>> Image)
+      : Base(std::move(Image)), Pages(Base->size() >> PageShift) {}
+
+  uint32_t size() const {
+    return static_cast<uint32_t>(Base ? Base->size() : Bytes.size());
+  }
 
   bool contains(uint32_t Pa, uint32_t Len) const {
-    return Pa + Len <= Bytes.size() && Pa + Len >= Pa;
+    return Pa + Len <= size() && Pa + Len >= Pa;
   }
 
   /// Reads a naturally-aligned 1/2/4-byte value (little endian).
@@ -52,11 +73,62 @@ public:
   /// Loads a word image (e.g. AsmBuilder::finish output) at \p Pa.
   void loadWords(uint32_t Pa, const std::vector<uint32_t> &Words);
 
+  // --- Copy-on-write forking (vm/Snapshot.h) ------------------------------
+
+  /// Flattened copy of the current contents as an immutable shared image.
+  /// In COW mode with no private pages this is the base itself (free).
+  std::shared_ptr<const std::vector<uint8_t>> snapshotBytes() const;
+
+  /// Switches to COW mode over \p Image (must match size()): owned bytes
+  /// are released, reads hit the shared image, writes privatize pages.
+  void adoptCow(std::shared_ptr<const std::vector<uint8_t>> Image);
+
+  bool isCow() const { return Base != nullptr; }
+  /// Pages privatized by writes since adoptCow() (the fork's working set).
+  uint64_t cowPrivatePages() const { return PrivatePages; }
+
 private:
-  std::vector<uint8_t> Bytes;
+  std::vector<uint8_t> Bytes; ///< owned storage; unused in COW mode
+  std::shared_ptr<const std::vector<uint8_t>> Base; ///< COW base image
+  std::vector<std::unique_ptr<uint8_t[]>> Pages; ///< COW private pages
+  uint64_t PrivatePages = 0;
+
+  const uint8_t *pageForRead(uint32_t Page) const {
+    return Pages[Page] ? Pages[Page].get()
+                       : Base->data() + (static_cast<size_t>(Page)
+                                         << PageShift);
+  }
+  uint8_t *pageForWrite(uint32_t Page);
 };
 
 class Platform;
+
+/// Frozen device-and-clock state of one board, captured by
+/// Platform::captureState() and re-applied by Platform::restoreState()
+/// (the device half of a vm::Snapshot). The disk media is held as an
+/// immutable shared image — forked boards clone it only when the guest
+/// writes a sector, mirroring the RAM copy-on-write protocol.
+struct PlatformState {
+  // IntController
+  uint32_t IntcRaw = 0, IntcEnabled = 0;
+  // Uart
+  std::string UartOutput;
+  std::deque<uint8_t> UartRx;
+  // TimerDevice
+  bool TimerEnabled = false;
+  uint32_t TimerInterval = 0;
+  uint64_t TimerDeadline = ~0ull;
+  uint64_t TimerTicks = 0;
+  // DiskDevice
+  std::shared_ptr<const std::vector<uint8_t>> DiskMedia;
+  uint64_t DiskLatency = 0;
+  uint32_t DiskSector = 0, DiskDmaAddr = 0, DiskCount = 1;
+  uint32_t DiskPendingCmd = 0;
+  uint64_t DiskDeadline = ~0ull;
+  // Board
+  uint64_t Now = 0;
+  bool ShutdownRequested = false;
+};
 
 /// Base class for MMIO devices. Each device occupies a 4 KiB page.
 class Device {
@@ -97,6 +169,17 @@ public:
   /// Raw & Enabled.
   uint32_t pending() const { return Raw & Enabled; }
 
+  void saveState(PlatformState &S) const {
+    S.IntcRaw = Raw;
+    S.IntcEnabled = Enabled;
+  }
+  /// Sets the lines directly; the caller restores Env.IrqPending itself
+  /// (it is part of the captured CpuEnv), so no refreshIrq here.
+  void loadState(const PlatformState &S) {
+    Raw = S.IntcRaw;
+    Enabled = S.IntcEnabled;
+  }
+
 private:
   uint32_t Raw = 0;
   uint32_t Enabled = 0;
@@ -117,6 +200,15 @@ public:
   const std::string &output() const { return Output; }
   void feedInput(const std::string &Text);
 
+  void saveState(PlatformState &S) const {
+    S.UartOutput = Output;
+    S.UartRx = RxQueue;
+  }
+  void loadState(const PlatformState &S) {
+    Output = S.UartOutput;
+    RxQueue = S.UartRx;
+  }
+
 private:
   std::string Output;
   std::deque<uint8_t> RxQueue;
@@ -135,6 +227,19 @@ public:
   void onDeadline() override;
 
   uint64_t ticks() const { return Ticks; }
+
+  void saveState(PlatformState &S) const {
+    S.TimerEnabled = Enabled;
+    S.TimerInterval = Interval;
+    S.TimerDeadline = Deadline;
+    S.TimerTicks = Ticks;
+  }
+  void loadState(const PlatformState &S) {
+    Enabled = S.TimerEnabled;
+    Interval = S.TimerInterval;
+    Deadline = S.TimerDeadline;
+    Ticks = S.TimerTicks;
+  }
 
 private:
   bool Enabled = false;
@@ -158,7 +263,9 @@ public:
 
   DiskDevice(Platform &P, uint32_t Base, uint32_t NumSectors,
              uint64_t LatencyPerSector)
-      : Device(P, Base), Media(NumSectors * SectorSize, 0),
+      : Device(P, Base),
+        Media(std::make_shared<std::vector<uint8_t>>(
+            NumSectors * SectorSize, 0)),
         Latency(LatencyPerSector) {}
 
   const char *name() const override { return "disk"; }
@@ -167,15 +274,47 @@ public:
   uint64_t nextDeadline() const override;
   void onDeadline() override;
 
-  /// Host-side access to the media for preloading images.
-  std::vector<uint8_t> &media() { return Media; }
+  /// Host-side access to the media for preloading images. Privatizes a
+  /// media image shared with snapshots/forks before handing out the
+  /// mutable reference.
+  std::vector<uint8_t> &media() {
+    ensureOwnedMedia();
+    return *Media;
+  }
+
+  void saveState(PlatformState &S) const {
+    S.DiskMedia = Media; // shared; writers on either side clone first
+    S.DiskLatency = Latency;
+    S.DiskSector = Sector;
+    S.DiskDmaAddr = DmaAddr;
+    S.DiskCount = Count;
+    S.DiskPendingCmd = PendingCmd;
+    S.DiskDeadline = Deadline;
+  }
+  void loadState(const PlatformState &S) {
+    Media = std::const_pointer_cast<std::vector<uint8_t>>(S.DiskMedia);
+    Latency = S.DiskLatency;
+    Sector = S.DiskSector;
+    DmaAddr = S.DiskDmaAddr;
+    Count = S.DiskCount;
+    PendingCmd = S.DiskPendingCmd;
+    Deadline = S.DiskDeadline;
+  }
 
 private:
-  std::vector<uint8_t> Media;
+  /// Media image; shared with snapshots after saveState(). use_count == 1
+  /// means this device is the sole owner, so mutating in place is safe
+  /// (same clone-if-shared protocol as the RAM pages and the code cache).
+  std::shared_ptr<std::vector<uint8_t>> Media;
   uint64_t Latency;
   uint32_t Sector = 0, DmaAddr = 0, Count = 1;
   uint32_t PendingCmd = 0;
   uint64_t Deadline = ~0ull;
+
+  void ensureOwnedMedia() {
+    if (Media.use_count() > 1)
+      Media = std::make_shared<std::vector<uint8_t>>(*Media);
+  }
 };
 
 /// MMIO window layout.
@@ -194,6 +333,13 @@ public:
   /// \p RamSize guest RAM bytes; \p DiskSectors size of the block device;
   /// \p DiskLatency wall cycles per sector access.
   explicit Platform(uint32_t RamSize, uint32_t DiskSectors = 4096,
+                    uint64_t DiskLatency = 50000);
+
+  /// Fork construction: RAM starts in COW mode over \p RamImage (see
+  /// PhysMem). Device and env state still reset; the caller re-applies a
+  /// captured PlatformState/CpuEnv on top (vm/Snapshot.h).
+  explicit Platform(std::shared_ptr<const std::vector<uint8_t>> RamImage,
+                    uint32_t DiskSectors = 4096,
                     uint64_t DiskLatency = 50000);
 
   CpuEnv Env;
@@ -222,6 +368,17 @@ public:
   /// by devices and by the CPSR-write paths that unmask IRQs.
   void refreshIrq();
 
+  // --- Snapshot support (vm/Snapshot.h) -----------------------------------
+
+  /// Freezes every device register, the disk media (shared, not copied),
+  /// the wall clock, and the shutdown latch into \p S. RAM and CpuEnv are
+  /// captured separately (PhysMem::snapshotBytes(), the Env member).
+  void captureState(PlatformState &S) const;
+
+  /// Re-applies a captured device state. The caller restores Env and RAM
+  /// itself; nothing here touches Env, so restore order does not matter.
+  void restoreState(const PlatformState &S);
+
   // --- Physical address space ---------------------------------------------
 
   bool isIoPage(uint32_t Pa) const {
@@ -241,6 +398,7 @@ private:
   Device *Devices[4];
   uint64_t Now = 0;
 
+  void initBoard(uint32_t DiskSectors, uint64_t DiskLatency);
   Device *deviceAt(uint32_t Pa);
 };
 

@@ -47,6 +47,24 @@ struct RunReport {
   /// Guest console output (UART TX bytes).
   std::string Console;
 
+  /// Host wall-clock time, split at the serving boundary: BootNs covers
+  /// getting the session ready to do work — Vm construction (full image
+  /// build, or snapshot adoption when forked) plus any runToBootMark()
+  /// slices — RunNs covers the ordinary run() calls. rdbt_serve's
+  /// session latency is their sum. Cumulative across resumed runs, like
+  /// the counters. Nondeterministic by nature, so these never enter the
+  /// perf-gated matrix JSON (bench::writeRunStatsFields emits them only
+  /// on request).
+  uint64_t BootNs = 0;
+  uint64_t RunNs = 0;
+
+  /// True when this session was forked off a vm::Snapshot, plus the COW
+  /// write-set it accumulated: guest RAM pages privatized by writes
+  /// (PhysMem::cowPrivatePages()). Both are session provenance, not
+  /// guest-visible state — excluded from bitwise identity checks.
+  bool Forked = false;
+  uint64_t CowPrivatePages = 0;
+
   /// Host-machine counters. For the native executor only Wall and
   /// GuestInstrs are meaningful (1 cycle per guest instruction).
   host::ExecCounters Counters;

@@ -13,10 +13,25 @@
 #include "rules/RuleIo.h"
 #include "sys/Interpreter.h"
 
+#include <chrono>
+
 using namespace rdbt;
 using namespace rdbt::vm;
 
+static uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
+  const uint64_t T0 = nowNs();
+  init();
+  BootNs_ += nowNs() - T0;
+}
+
+void Vm::init() {
   Kind_ = TranslatorRegistry::global().find(Cfg.translator());
   if (!Kind_) {
     Error_ = "unknown translator kind '" + Cfg.translator() + "'";
@@ -24,28 +39,57 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
     return;
   }
 
-  const uint32_t Ram = Cfg.ramBytes()
-                           ? Cfg.ramBytes()
-                           : guestsw::requiredWorkloadRam(Cfg.workload());
-  Board_ = std::make_unique<sys::Platform>(Ram);
+  const Snapshot *Snap = Cfg.snapshot();
+  if (Snap) {
+    Error_ = Snap->forkError(Cfg);
+    if (!Error_.empty()) {
+      Board_ = std::make_unique<sys::Platform>(guestsw::KernelLayout::MinRam);
+      return;
+    }
+    Forked_ = true;
+    // Fork fast path: RAM comes up copy-on-write over the snapshot's
+    // shared image (no allocation, no zero-fill, no guest install), then
+    // the captured device and CPU state are applied verbatim. Env last —
+    // it carries IrqPending/ExitRequest, which nothing below may
+    // recompute (Platform::restoreState never touches Env).
+    Board_ = std::make_unique<sys::Platform>(Snap->ramImage());
+    Board_->restoreState(Snap->Board_);
+    Board_->Env = Snap->Env_;
+    // A pre-run snapshot has executed nothing, so the fork may choose
+    // its own invalidation policy; a warm one already validated equality.
+    if (!Snap->HasRun_)
+      Board_->Env.BlanketInvalidation =
+          Cfg.blanketCacheInvalidation() ? 1u : 0u;
+  } else {
+    const uint32_t Ram = Cfg.ramBytes()
+                             ? Cfg.ramBytes()
+                             : guestsw::requiredWorkloadRam(Cfg.workload());
+    Board_ = std::make_unique<sys::Platform>(Ram);
 
-  if (Cfg.isFlatImage()) {
-    Board_->Ram.loadWords(Cfg.flatImageBase(), Cfg.flatImage());
-    sys::resetEnv(Board_->Env);
-    Board_->Env.Regs[15] = Cfg.flatImageBase();
-  } else if (Cfg.workload().empty()) {
-    Error_ = "no workload configured";
-    return;
-  } else if (!guestsw::setupGuest(*Board_, Cfg.workload(), Cfg.scale())) {
-    Error_ = "unknown workload '" + Cfg.workload() + "'";
+    if (Cfg.isFlatImage()) {
+      Board_->Ram.loadWords(Cfg.flatImageBase(), Cfg.flatImage());
+      sys::resetEnv(Board_->Env);
+      Board_->Env.Regs[15] = Cfg.flatImageBase();
+    } else if (Cfg.workload().empty()) {
+      Error_ = "no workload configured";
+      return;
+    } else if (!guestsw::setupGuest(*Board_, Cfg.workload(), Cfg.scale())) {
+      Error_ = "unknown workload '" + Cfg.workload() + "'";
+      return;
+    }
+    // After guest install (installers reset the env, which clears the
+    // policy word). The interpreter honors it on every executor path.
+    Board_->Env.BlanketInvalidation =
+        Cfg.blanketCacheInvalidation() ? 1u : 0u;
+  }
+
+  if (!Kind_->UsesEngine) {
+    // Interpreter-executed: no translator, no engine. A warm native
+    // snapshot resumes its instruction accumulator.
+    if (Snap)
+      NativeInstrs_ = Snap->NativeInstrs_;
     return;
   }
-  // After guest install (installers reset the env, which clears the
-  // policy word). The interpreter honors it on every executor path.
-  Board_->Env.BlanketInvalidation = Cfg.blanketCacheInvalidation() ? 1u : 0u;
-
-  if (!Kind_->UsesEngine)
-    return; // interpreter-executed: no translator, no engine
 
   TranslatorRegistry::Context Ctx;
   const core::OptConfig Opts = Cfg.hasOpts() ? Cfg.opts() : core::OptConfig();
@@ -53,25 +97,33 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
     Ctx.Opts = &Opts;
   if (Kind_->NeedsRules) {
     if (!Cfg.rules()) {
-      if (Kind_->TakesParam) {
+      const std::string Param = TranslatorRegistry::paramOf(Cfg.translator());
+      if (Snap && Snap->Rules_ &&
+          Param == TranslatorRegistry::paramOf(Snap->translator())) {
+        // Same corpus provenance (both reference, or the same rule
+        // file): share the snapshot's immutable set instead of
+        // rebuilding or re-reading it per fork.
+        OwnedRules_ = Snap->Rules_;
+      } else if (Kind_->TakesParam) {
         // "rule:file=<path>": deploy a persisted corpus.
-        const std::string Path =
-            TranslatorRegistry::paramOf(Cfg.translator());
-        if (Path.empty()) {
+        if (Param.empty()) {
           Error_ = "translator kind '" + Kind_->Name +
                    "' needs a parameter: " + Kind_->Name + "=<rule-file>";
           return;
         }
+        auto Loaded = std::make_shared<rules::RuleSet>();
         std::string IoErr;
-        if (!rules::readRuleFile(Path, OwnedRules_, &IoErr)) {
+        if (!rules::readRuleFile(Param, *Loaded, &IoErr)) {
           Error_ = "cannot load rule file: " + IoErr;
           return;
         }
+        OwnedRules_ = std::move(Loaded);
       } else {
-        OwnedRules_ = rules::buildReferenceRuleSet();
+        OwnedRules_ = std::make_shared<const rules::RuleSet>(
+            rules::buildReferenceRuleSet());
       }
     }
-    Ctx.Rules = Cfg.rules() ? Cfg.rules() : &OwnedRules_;
+    Ctx.Rules = Cfg.rules() ? Cfg.rules() : OwnedRules_.get();
   }
   Xlat_ = TranslatorRegistry::global().create(Kind_->Name, Ctx);
   if (!Xlat_) {
@@ -83,6 +135,27 @@ Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
       Rule->setGapMiner(Cfg.gapMiner());
   Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
   Engine_->setRunawayGuard(Cfg.runawayGuard());
+
+  if (Snap && Snap->HasRun_) {
+    // Adopt the warm snapshot's executor progress: the warmed code cache
+    // (blocks shared read-only; chain patches privatize per block), the
+    // exact host counters, engine/MMU statistics, and the rule
+    // translator's session counters — so this fork's cumulative report
+    // is bitwise what an unforked session's would be.
+    if (Snap->Cache_)
+      Engine_->codeCache().adopt(*Snap->Cache_);
+    Engine_->restoreCounters(Snap->Counters_);
+    Engine_->Stats = Snap->Engine_;
+    Engine_->mmu().Hits = Snap->MmuHits_;
+    Engine_->mmu().Misses = Snap->MmuMisses_;
+    if (auto *Rule = dynamic_cast<core::RuleTranslator *>(Xlat_.get())) {
+      Rule->RuleCoveredInstrs = Snap->RuleCoveredInstrs_;
+      Rule->FallbackInstrs = Snap->FallbackInstrs_;
+      Rule->ScheduledDefUseMoves = Snap->ScheduledDefUseMoves_;
+      Rule->ScheduledIrqChecks = Snap->ScheduledIrqChecks_;
+      Rule->Matches = Snap->Matches_;
+    }
+  }
 }
 
 Vm::~Vm() = default;
@@ -96,11 +169,14 @@ RunReport Vm::run(uint64_t WallBudget) {
     R.Label = Kind_->Label;
     R.MetricKey = Kind_->MetricKey;
   }
+  R.Forked = Forked_;
   if (!valid()) {
     R.Error = Error_;
+    R.BootNs = BootNs_;
     return R;
   }
 
+  const uint64_t T0 = nowNs();
   if (!Kind_->UsesEngine) {
     const sys::SystemRunResult Res =
         sys::runSystemInterpreter(*Board_, WallBudget);
@@ -133,12 +209,87 @@ RunReport Vm::run(uint64_t WallBudget) {
       }
     }
   }
+  RunNs_ += nowNs() - T0;
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;
   R.Console = Board_->uart().output();
+  R.BootNs = BootNs_;
+  R.RunNs = RunNs_;
+  R.CowPrivatePages = Board_->Ram.cowPrivatePages();
   sys::materializeFlags(Board_->Env);
   for (int I = 0; I < 16; ++I)
     R.Final.Regs[I] = Board_->Env.Regs[I];
   R.Final.Nzcv = sys::packFlags(Board_->Env);
   R.Final.ShutdownRequested = Board_->ShutdownRequested;
   return R;
+}
+
+RunReport Vm::runToBootMark(uint64_t SliceCycles) {
+  if (!SliceCycles)
+    SliceCycles = 20000;
+  const uint64_t RunNsBefore = RunNs_;
+  uint64_t Spent = 0;
+  RunReport R;
+  do {
+    R = run(SliceCycles);
+    Spent += SliceCycles;
+  } while (valid() && R.Stop == dbt::StopReason::WallLimit &&
+           Board_->Env.Mode != sys::ModeUsr && Spent < Cfg.wallBudget());
+  // Boot time is setup cost, not serving cost: move this call's wall
+  // time from the run accumulator to the boot accumulator.
+  BootNs_ += RunNs_ - RunNsBefore;
+  RunNs_ = RunNsBefore;
+  R.BootNs = BootNs_;
+  R.RunNs = RunNs_;
+  return R;
+}
+
+Snapshot Vm::capture() {
+  Snapshot S;
+  if (!valid())
+    return S;
+  S.Cfg_ = Cfg;
+  // Scrub per-session attachments: a fork stamped from S.config() must
+  // not inherit another session's gap miner, external rule pointer, or
+  // snapshot chain (the corpus travels in S.Rules_ instead).
+  S.Cfg_.snapshot(nullptr).gapMiner(nullptr).rules(nullptr);
+
+  S.Env_ = Board_->Env;
+  Board_->captureState(S.Board_);
+  S.Ram_ = Board_->Ram.snapshotBytes();
+
+  if (Kind_->UsesEngine) {
+    S.HasRun_ = Engine_->counters().Wall != 0;
+    S.Counters_ = Engine_->counters();
+    S.Engine_ = Engine_->Stats;
+    S.MmuHits_ = Engine_->mmu().Hits;
+    S.MmuMisses_ = Engine_->mmu().Misses;
+    S.Cache_ = Engine_->codeCache().capture();
+    if (const auto *Rule =
+            dynamic_cast<const core::RuleTranslator *>(Xlat_.get())) {
+      S.RuleCoveredInstrs_ = Rule->RuleCoveredInstrs;
+      S.FallbackInstrs_ = Rule->FallbackInstrs;
+      S.ScheduledDefUseMoves_ = Rule->ScheduledDefUseMoves;
+      S.ScheduledIrqChecks_ = Rule->ScheduledIrqChecks;
+      S.Matches_ = Rule->Matches;
+    }
+  } else {
+    S.HasRun_ = NativeInstrs_ != 0;
+    S.NativeInstrs_ = NativeInstrs_;
+  }
+
+  if (Kind_->NeedsRules) {
+    if (Cfg.rules())
+      // External caller-owned set: copy it so the snapshot stays
+      // self-contained (sets are small relative to RAM images).
+      S.Rules_ = std::make_shared<const rules::RuleSet>(*Cfg.rules());
+    else
+      S.Rules_ = OwnedRules_;
+  }
+  return S;
+}
+
+std::unique_ptr<Vm> Vm::forkFrom(const Snapshot &S) {
+  VmConfig C = S.config();
+  C.snapshot(&S);
+  return std::make_unique<Vm>(std::move(C));
 }

@@ -35,6 +35,7 @@
 #include "rules/RuleSet.h"
 #include "sys/Platform.h"
 #include "vm/RunReport.h"
+#include "vm/Snapshot.h"
 #include "vm/TranslatorRegistry.h"
 #include "vm/VmConfig.h"
 
@@ -68,6 +69,33 @@ public:
   /// relative: a resumed run gets \p WallBudget *more* cycles).
   RunReport run(uint64_t WallBudget);
 
+  // --- Snapshot / fork (vm/Snapshot.h) ------------------------------------
+
+  /// Runs in \p SliceCycles increments until the guest first enters user
+  /// mode — the host-visible "boot finished, workload starting" mark —
+  /// or the config's wall budget runs out. Because run() is
+  /// resume-transparent, the slicing leaves every counter and all guest
+  /// state exactly as an unsliced run would; the time spent is accounted
+  /// to RunReport::BootNs instead of RunNs. The canonical capture point
+  /// for serving: boot once, capture, fork per session.
+  RunReport runToBootMark(uint64_t SliceCycles = 20000);
+
+  /// Freezes the whole session into a self-contained Snapshot: RAM
+  /// image, CPU env, device state, executor progress, warmed code cache
+  /// (blocks shared read-only), and the rule corpus. The session may
+  /// keep running afterwards — everything shared is copy-on-write on
+  /// both sides. Invalid sessions yield an empty snapshot.
+  Snapshot capture();
+
+  /// Builds a forked session straight from \p S's own configuration
+  /// (equivalent to Vm(S.config() with .snapshot(&S))). The fork shares
+  /// the snapshot's RAM, code cache, and rules by refcount, so \p S may
+  /// be destroyed once this returns.
+  static std::unique_ptr<Vm> forkFrom(const Snapshot &S);
+
+  /// True when this session adopted a snapshot at construction.
+  bool forked() const { return Forked_; }
+
   // --- Escape hatches for tests and tooling -------------------------------
 
   sys::Platform &board() { return *Board_; }
@@ -83,15 +111,21 @@ private:
   const TranslatorRegistry::KindInfo *Kind_ = nullptr;
   std::unique_ptr<sys::Platform> Board_;
   uint64_t NativeInstrs_ = 0; ///< native executor: instrs across run() calls
-  /// Reference set when no external set is given, or the corpus loaded
-  /// from the "rule:file=<path>" parameter. Never mutated after
-  /// construction: matching is const and per-session counters live in
-  /// the translator (core::RuleTranslator::Matches), so a set shared
-  /// across sessions via VmConfig::rules() — including concurrent
+  /// Reference set when no external set is given, the corpus loaded from
+  /// the "rule:file=<path>" parameter, or — for forked sessions — the
+  /// snapshot's corpus shared by refcount. Immutable after construction:
+  /// matching is const and per-session counters live in the translator
+  /// (core::RuleTranslator::Matches), so a set shared across sessions —
+  /// via VmConfig::rules() or across COW forks, including concurrent
   /// BatchRunner workers — needs no reset between runs.
-  rules::RuleSet OwnedRules_;
+  std::shared_ptr<const rules::RuleSet> OwnedRules_;
   std::unique_ptr<dbt::Translator> Xlat_;
   std::unique_ptr<dbt::DbtEngine> Engine_;
+  bool Forked_ = false;
+  uint64_t BootNs_ = 0; ///< construction + runToBootMark() wall time
+  uint64_t RunNs_ = 0;  ///< run() wall time, cumulative
+
+  void init();
 };
 
 } // namespace vm

@@ -49,6 +49,8 @@ class GapMiner;
 }
 namespace vm {
 
+class Snapshot;
+
 class VmConfig {
 public:
   /// Defaults: full-opt rule translator, scale 1, minimum kernel RAM,
@@ -119,6 +121,17 @@ public:
   /// Bypasses the guest kernel: load \p Words at physical \p Base, reset
   /// the env and start executing there (the differential-fuzz setup).
   VmConfig &flatImage(std::vector<uint32_t> Words, uint32_t Base);
+  /// Forks the session off \p S (vm/Snapshot.h) instead of building the
+  /// board from scratch: guest RAM is shared copy-on-write, device/env
+  /// state is restored, and — for warm snapshots of the same translator
+  /// kind — the warmed code cache and counters are adopted. The pointer
+  /// is read only during Vm construction; the built Vm holds the
+  /// snapshot's immutable images by refcount, so the Snapshot itself
+  /// need not outlive the Vm.
+  VmConfig &snapshot(const Snapshot *S) {
+    Snapshot_ = S;
+    return *this;
+  }
 
   // --- Accessors ----------------------------------------------------------
 
@@ -136,6 +149,7 @@ public:
   bool isFlatImage() const { return UseFlatImage_; }
   const std::vector<uint32_t> &flatImage() const { return FlatImage_; }
   uint32_t flatImageBase() const { return FlatImageBase_; }
+  const Snapshot *snapshot() const { return Snapshot_; }
 
   // --- Spec strings -------------------------------------------------------
 
@@ -165,6 +179,7 @@ private:
   std::vector<uint32_t> FlatImage_;
   uint32_t FlatImageBase_ = 0;
   bool UseFlatImage_ = false;
+  const Snapshot *Snapshot_ = nullptr;
 };
 
 } // namespace vm
