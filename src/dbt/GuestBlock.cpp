@@ -16,6 +16,7 @@ bool dbt::fetchGuestBlock(sys::Mmu &Mmu, uint32_t Pc, uint32_t MmuIdx,
   Out.StartPc = Pc;
   Out.MmuIdx = MmuIdx;
   Out.Insts.clear();
+  Out.Words.clear();
 
   for (unsigned N = 0; N < MaxGuestInstrsPerTb; ++N) {
     uint32_t Word = 0;
@@ -31,6 +32,7 @@ bool dbt::fetchGuestBlock(sys::Mmu &Mmu, uint32_t Pc, uint32_t MmuIdx,
     }
     const arm::Inst I = arm::decode(Word);
     Out.Insts.push_back(I);
+    Out.Words.push_back(Word);
     Pc += 4;
     if (!I.isValid() || I.endsBlock())
       break;

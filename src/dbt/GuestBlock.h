@@ -28,6 +28,10 @@ struct GuestBlock {
   uint32_t StartPc = 0;
   uint32_t MmuIdx = 0; ///< privilege level the block was fetched under
   std::vector<arm::Inst> Insts;
+  /// Raw guest words, one per Insts entry. arm::Inst does not retain the
+  /// encoding, but the persistent code cache validates a stored
+  /// translation against the *current* guest bytes before reusing it.
+  std::vector<uint32_t> Words;
 
   uint32_t pcOf(size_t Index) const {
     return StartPc + 4 * static_cast<uint32_t>(Index);

@@ -185,6 +185,10 @@ struct HostBlock {
 
   uint32_t GuestPc = 0;       ///< guest address this TB translates
   uint32_t NumGuestInstrs = 0;
+  /// Raw guest words this TB was translated from (filled by the engine
+  /// after translation). The persistent code cache re-validates a loaded
+  /// block against freshly fetched guest memory through these.
+  std::vector<uint32_t> GuestWords;
   // Guest instruction category counts (Table I accounting; the host
   // machine accumulates them blindly on every TB entry).
   uint32_t NumMemInstrs = 0;
