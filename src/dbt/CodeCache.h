@@ -71,6 +71,17 @@ struct CacheStats {
   /// snapshot — the "share TBs read-only, copy on first patch" protocol.
   uint64_t AdoptedTbs = 0;
   uint64_t CowBlockCopies = 0;
+  /// Persistent-cache accounting (dbt/CodeCacheIo.h). CacheFileHits
+  /// counts cache files loaded and validated at boot; CacheFileMisses
+  /// counts files that were *present* but rejected (corrupt, truncated,
+  /// wrong version, stale key) — an absent file counts neither, so a
+  /// cold run with a cache dir reports exactly like a run without one.
+  /// LoadedTbs counts blocks seeded from the loaded store instead of
+  /// being translated (the warm-boot savings, mirror of
+  /// EngineStats::Translations).
+  uint64_t CacheFileHits = 0;
+  uint64_t CacheFileMisses = 0;
+  uint64_t LoadedTbs = 0;
   /// Live blocks at report time — a snapshot, not a counter; filled by
   /// the report producer (vm::Vm) from CodeCache::size(). The direct
   /// retention signal: under the blanket policy it collapses to the last
@@ -80,6 +91,7 @@ struct CacheStats {
 };
 
 class CodeCache : public host::CodeSource {
+public:
   /// One slot in the id space. Block is null once invalidated; the
   /// metadata stays so reverse edges can be validated lazily.
   ///
@@ -87,7 +99,9 @@ class CodeCache : public host::CodeSource {
   /// share translated code with any number of forked caches: use_count
   /// == 1 proves this cache is the sole owner and may mutate in place;
   /// otherwise the mutating paths (chain patching, chain unlinking)
-  /// privatize the block first — see privateBlock().
+  /// privatize the block first — see privateBlock(). Public (alongside
+  /// Image and key()) so dbt/CodeCacheIo.h can serialize and rebuild
+  /// images without friending every IO class.
   struct Entry {
     std::shared_ptr<host::HostBlock> Block;
     uint64_t Key = 0;
@@ -99,8 +113,6 @@ class CodeCache : public host::CodeSource {
     /// re-chained); unlinking validates each one against the live chain.
     std::vector<std::pair<int, int>> Incoming;
   };
-
-public:
   /// A frozen copy of the whole cache — entries (blocks shared, not
   /// copied), id space, lookup indices, retranslation memory, and stats —
   /// produced by capture() and re-installed into forked caches by
@@ -166,6 +178,15 @@ public:
 
   CacheStats Stats;
 
+  /// The canonical lookup key: one u64 per (PC, MMU index, ASID) triple.
+  /// Public so the persistent-cache store (dbt/CodeCacheIo.h) keys its
+  /// lookups identically instead of maintaining a parallel encoding.
+  static uint64_t key(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) {
+    return static_cast<uint64_t>(Pc) |
+           (static_cast<uint64_t>(MmuIdx & 1u) << 32) |
+           (static_cast<uint64_t>(Asid & 0xFFu) << 33);
+  }
+
 private:
   std::vector<Entry> Entries; ///< index = id - BaseId
   int BaseId = 0;             ///< ids retired by full flushes
@@ -180,12 +201,6 @@ private:
   /// flushes deliberately: translating a key again after any flavor of
   /// invalidation is the retranslation cost the ASID design removes.
   std::unordered_set<uint64_t> SeenKeys;
-
-  static uint64_t key(uint32_t Pc, uint32_t MmuIdx, uint32_t Asid) {
-    return static_cast<uint64_t>(Pc) |
-           (static_cast<uint64_t>(MmuIdx & 1u) << 32) |
-           (static_cast<uint64_t>(Asid & 0xFFu) << 33);
-  }
 
   Entry *entry(int TbId) {
     if (TbId < BaseId)

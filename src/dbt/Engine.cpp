@@ -7,6 +7,7 @@
 #include "dbt/Engine.h"
 
 #include "arm/Decoder.h"
+#include "dbt/CodeCacheIo.h"
 #include "dbt/Helpers.h"
 
 #include <cassert>
@@ -57,13 +58,26 @@ int DbtEngine::translateAt(uint32_t Pc) {
     ++Stats.GuestExceptions;
     return -1;
   }
+  const uint32_t Asid = sys::currentAsid(Board.Env);
   host::HostBlock Block;
-  Xlat.translate(GB, Block);
-  assert(Block.GuestPc == Pc && "translator must fill GuestPc");
-  ++Stats.Translations;
-  Stats.TranslatedGuestInstrs += GB.Insts.size();
-  return Cache.insert(std::move(Block), GB.MmuIdx,
-                      sys::currentAsid(Board.Env));
+  // Persistent-cache fast path: a stored translation for this key whose
+  // recorded guest words still match what we just fetched is reused
+  // verbatim. Validating against GB.Words (not just the key) makes SMC /
+  // page-remap staleness impossible: any byte difference falls through to
+  // a fresh translation.
+  if (Store_ && Store_->lookup(GB.StartPc, GB.MmuIdx, Asid, GB.Words, Block)) {
+    ++Cache.Stats.LoadedTbs;
+  } else {
+    Xlat.translate(GB, Block);
+    assert(Block.GuestPc == Pc && "translator must fill GuestPc");
+    Block.GuestWords = GB.Words;
+    ++Stats.Translations;
+    Stats.TranslatedGuestInstrs += GB.Insts.size();
+  }
+  if (RetainForSave_)
+    Retained_[CodeCache::key(GB.StartPc, GB.MmuIdx, Asid)] =
+        std::make_shared<const host::HostBlock>(Block);
+  return Cache.insert(std::move(Block), GB.MmuIdx, Asid);
 }
 
 void DbtEngine::drainInvalidationRequest() {

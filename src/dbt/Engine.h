@@ -28,8 +28,13 @@
 #include "sys/Mmu.h"
 #include "sys/Platform.h"
 
+#include <map>
+#include <memory>
+
 namespace rdbt {
 namespace dbt {
+
+class TranslationStore;
 
 /// Why DbtEngine::run returned.
 enum class StopReason : uint8_t {
@@ -77,6 +82,33 @@ public:
   /// restored Wall does not eat into it.
   void restoreCounters(const host::ExecCounters &C) { Machine.Counters = C; }
 
+  /// Attaches a persistent-cache store (dbt/CodeCacheIo.h). On every
+  /// translation miss the engine consults it first: a stored block whose
+  /// recorded guest words still match guest memory is inserted instead of
+  /// translating (counted in CacheStats::LoadedTbs, *not* in
+  /// Stats.Translations). Lazy by design — a boot-time full flush merely
+  /// drops the seeded blocks, and the store re-seeds them on the next
+  /// miss, so warm runs stay count-identical to cold ones.
+  void setTranslationStore(std::shared_ptr<const TranslationStore> S) {
+    Store_ = std::move(S);
+  }
+  const std::shared_ptr<const TranslationStore> &translationStore() const {
+    return Store_;
+  }
+
+  /// When on, the engine keeps a pristine copy of every block it inserts
+  /// (translated or store-seeded), keyed like the cache, newest per key.
+  /// This is what the persistent-cache save serializes: unlike the live
+  /// cache it still holds blocks the boot-time flush discarded, so the
+  /// file covers the *whole* session and a warm boot translates nothing.
+  /// Copies are private — retaining never raises the live blocks'
+  /// use_count, so chain-patch COW behavior is unchanged.
+  void setRetainForSave(bool On) { RetainForSave_ = On; }
+  const std::map<uint64_t, std::shared_ptr<const host::HostBlock>> &
+  retainedForSave() const {
+    return Retained_;
+  }
+
   EngineStats Stats;
   sys::Mmu &mmu() { return Mmu_; }
   CodeCache &codeCache() { return Cache; }
@@ -112,6 +144,12 @@ private:
   CodeCache Cache;
   RamPort Port;
   host::HostMachine Machine;
+  std::shared_ptr<const TranslationStore> Store_;
+  bool RetainForSave_ = false;
+  /// Ordered map so save-file bytes are deterministic for a
+  /// deterministic run (concurrent savers of one key write identical
+  /// files).
+  std::map<uint64_t, std::shared_ptr<const host::HostBlock>> Retained_;
 
   /// Translates the block at (Pc, current MmuIdx, current ASID); returns
   /// its TB id or -1 if the initial fetch faulted (a prefetch abort was

@@ -61,6 +61,9 @@
 #include <vector>
 
 namespace rdbt {
+namespace dbt {
+class TranslationStore;
+}
 namespace vm {
 
 class Snapshot {
@@ -123,6 +126,11 @@ private:
   uint64_t MmuHits_ = 0, MmuMisses_ = 0;
   uint64_t NativeInstrs_ = 0;
   std::shared_ptr<const dbt::CodeCache::Image> Cache_;
+  /// The captured session's persistent-cache store (dbt/CodeCacheIo.h),
+  /// null when persistence was off. Warm forks inherit it instead of
+  /// re-loading the cache file, so a fork's provenance counters
+  /// (CacheFileHits/Misses) stay bitwise equal to an unforked session's.
+  std::shared_ptr<const dbt::TranslationStore> Store_;
 
   // Rule corpus (shared read-only across forks) and the captured
   // rule-translator session counters, restored so a fork's cumulative

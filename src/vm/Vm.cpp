@@ -13,6 +13,7 @@
 #include "rules/RuleIo.h"
 #include "sys/Interpreter.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace rdbt;
@@ -136,7 +137,8 @@ void Vm::init() {
   Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
   Engine_->setRunawayGuard(Cfg.runawayGuard());
 
-  if (Snap && Snap->HasRun_) {
+  AdoptedWarm_ = Snap && Snap->HasRun_;
+  if (AdoptedWarm_) {
     // Adopt the warm snapshot's executor progress: the warmed code cache
     // (blocks shared read-only; chain patches privatize per block), the
     // exact host counters, engine/MMU statistics, and the rule
@@ -155,10 +157,127 @@ void Vm::init() {
       Rule->ScheduledIrqChecks = Snap->ScheduledIrqChecks_;
       Rule->Matches = Snap->Matches_;
     }
+    // Inherit the captured session's persistent-cache store as-is (the
+    // adopted CacheStats already include its CacheFileHits/LoadedTbs, so
+    // re-loading here would double-count). Warm forks also never save —
+    // see ~Vm — because N forks racing to rewrite one file adds nothing
+    // the captured session's own save does not.
+    Engine_->setTranslationStore(Snap->Store_);
+  } else if (!Cfg.persistentCache().empty()) {
+    initPersistentCache(Snap);
   }
 }
 
-Vm::~Vm() = default;
+void Vm::initPersistentCache(const Snapshot *Snap) {
+  // Key the cache file by everything a stored translation depends on:
+  // the guest image bytes, and every configuration input that changes
+  // what the translator emits (DESIGN.md §12).
+  dbt::CacheKey K;
+  if (Snap && Snap->ramImage()) {
+    const std::vector<uint8_t> &Img = *Snap->ramImage();
+    K.ImageCrc = dbt::crc32c(Img.data(), Img.size());
+  } else {
+    // Page-wise so COW-mode RAM never needs flattening.
+    uint8_t Page[sys::PhysMem::PageBytes];
+    const uint32_t Size = Board_->Ram.size();
+    uint32_t Crc = 0;
+    for (uint32_t Pa = 0; Pa < Size; Pa += sys::PhysMem::PageBytes) {
+      const uint32_t Len =
+          std::min<uint32_t>(sys::PhysMem::PageBytes, Size - Pa);
+      Board_->Ram.readBlock(Pa, Page, Len);
+      Crc = dbt::crc32c(Page, Len, Crc);
+    }
+    K.ImageCrc = Crc;
+  }
+
+  // Translator identity: canonical kind name, explicit opt overrides
+  // (the kind name itself pins the preset), invalidation policy, and —
+  // for rule kinds — the full canonical corpus text, so "rule:file="
+  // deployments key by content, not by path.
+  uint32_t C = dbt::crc32c(Kind_->Name.data(), Kind_->Name.size());
+  C = dbt::crc32cWord(Cfg.hasOpts() ? 1u : 0u, C);
+  if (Cfg.hasOpts()) {
+    const core::OptConfig &O = Cfg.opts();
+    C = dbt::crc32cWord(static_cast<uint32_t>(O.PackedCcr) |
+                            (static_cast<uint32_t>(O.TrackFlagState) << 1) |
+                            (static_cast<uint32_t>(O.InterTb) << 2) |
+                            (static_cast<uint32_t>(O.ScheduleDefUse) << 3) |
+                            (static_cast<uint32_t>(O.ScheduleIrq) << 4),
+                        C);
+  }
+  C = dbt::crc32cWord(Cfg.blanketCacheInvalidation() ? 1u : 0u, C);
+  if (Kind_->NeedsRules) {
+    const rules::RuleSet *RS = Cfg.rules() ? Cfg.rules() : OwnedRules_.get();
+    const std::string Text = rules::writeRuleSet(*RS);
+    C = dbt::crc32c(Text.data(), Text.size(), C);
+  }
+  // Layout/geometry fingerprint: a rebuild that moves env slots or the
+  // host ISA must never reuse old code.
+  C = dbt::crc32cWord(sys::envWordCount(), C);
+  C = dbt::crc32cWord(sys::envSlotMmuIdx(), C);
+  C = dbt::crc32cWord(sys::envSlotTlbBase(), C);
+  C = dbt::crc32cWord(sys::tlbEntryWords(), C);
+  C = dbt::crc32cWord(sys::TlbSize, C);
+  C = dbt::crc32cWord(host::NumHostRegs, C);
+  C = dbt::crc32cWord(static_cast<uint32_t>(host::HOp::ExitTb), C);
+  C = dbt::crc32cWord(host::NumCostClasses, C);
+  K.ConfigCrc = C;
+  K.Valid = true;
+
+  CacheKey_ = K;
+  CachePath_ = K.pathIn(Cfg.persistentCache());
+
+  dbt::CodeCache::Image Img;
+  switch (dbt::CodeCacheIo::load(CachePath_, K, Img)) {
+  case dbt::CacheLoad::Hit:
+    ++Engine_->codeCache().Stats.CacheFileHits;
+    Engine_->setTranslationStore(std::make_shared<const dbt::TranslationStore>(
+        std::make_shared<const dbt::CodeCache::Image>(std::move(Img))));
+    break;
+  case dbt::CacheLoad::Rejected:
+    // Corrupt, truncated, or stale-keyed file: a clean cold start.
+    ++Engine_->codeCache().Stats.CacheFileMisses;
+    break;
+  case dbt::CacheLoad::Absent:
+    // No file is simply a first run — counted nowhere, so a cold run
+    // with a cache dir reports exactly like a run without one.
+    break;
+  }
+
+  // Arm the engine's retain-for-save set: the exit save serializes every
+  // block the session ever inserted, not just the ones still live, so
+  // blocks the boot-time flush discarded still reach the file and the
+  // next boot translates nothing at all.
+  if (Cfg.persistentCacheSaveOnExit())
+    Engine_->setRetainForSave(true);
+}
+
+Vm::~Vm() {
+  // Auto-save policy: persist this session's translations if persistence
+  // is on, this session translated anything beyond what the store seeded
+  // (a pure-warm run would rewrite identical content), and it is not a
+  // warm fork (the captured session owns the file).
+  if (CacheKey_.Valid && Engine_ && !AdoptedWarm_ &&
+      Cfg.persistentCacheSaveOnExit() && Engine_->Stats.Translations > 0 &&
+      !Engine_->retainedForSave().empty()) {
+    // Serialize the retained set (every block inserted this session,
+    // whether still live or flushed since) as a synthetic Image; the
+    // std::map ordering makes the file bytes deterministic.
+    dbt::CodeCache::Image Img;
+    for (const auto &[Key, Block] : Engine_->retainedForSave()) {
+      dbt::CodeCache::Entry E;
+      E.Block = std::const_pointer_cast<host::HostBlock>(Block);
+      E.Key = Key;
+      E.Asid = static_cast<uint32_t>(Key >> 33) & 0xFF;
+      E.FirstPage = Block->GuestPc / sys::PhysMem::PageBytes;
+      E.LastPage = (Block->GuestPc + 4 * Block->NumGuestInstrs - 1) /
+                   sys::PhysMem::PageBytes;
+      Img.Entries.push_back(std::move(E));
+    }
+    Img.LiveBlocks = Img.Entries.size();
+    dbt::CodeCacheIo::save(CachePath_, Img, CacheKey_);
+  }
+}
 
 RunReport Vm::run() { return run(Cfg.wallBudget()); }
 
@@ -264,6 +383,7 @@ Snapshot Vm::capture() {
     S.MmuHits_ = Engine_->mmu().Hits;
     S.MmuMisses_ = Engine_->mmu().Misses;
     S.Cache_ = Engine_->codeCache().capture();
+    S.Store_ = Engine_->translationStore();
     if (const auto *Rule =
             dynamic_cast<const core::RuleTranslator *>(Xlat_.get())) {
       S.RuleCoveredInstrs_ = Rule->RuleCoveredInstrs;

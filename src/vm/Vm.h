@@ -31,6 +31,7 @@
 #ifndef RDBT_VM_VM_H
 #define RDBT_VM_VM_H
 
+#include "dbt/CodeCacheIo.h"
 #include "dbt/Engine.h"
 #include "rules/RuleSet.h"
 #include "sys/Platform.h"
@@ -96,6 +97,12 @@ public:
   /// True when this session adopted a snapshot at construction.
   bool forked() const { return Forked_; }
 
+  /// The resolved persistent-cache file path ("" when persistence is
+  /// off) and its key — tooling hooks (rdbt_scenarios prints them with
+  /// --verbose-cache; tests forge stale files from the key).
+  const std::string &cacheFilePath() const { return CachePath_; }
+  const dbt::CacheKey &cacheKey() const { return CacheKey_; }
+
   // --- Escape hatches for tests and tooling -------------------------------
 
   sys::Platform &board() { return *Board_; }
@@ -125,7 +132,18 @@ private:
   uint64_t BootNs_ = 0; ///< construction + runToBootMark() wall time
   uint64_t RunNs_ = 0;  ///< run() wall time, cumulative
 
+  // Persistent translation cache (dbt/CodeCacheIo.h). A session with a
+  // cache dir loads its keyed file at init (each seeded block counted in
+  // CacheStats::LoadedTbs) and saves its translations at destruction.
+  // Warm forks inherit the snapshot's store and do neither — the
+  // captured session already paid the load, and a fork writing the file
+  // would race its siblings.
+  dbt::CacheKey CacheKey_;
+  std::string CachePath_;
+  bool AdoptedWarm_ = false; ///< adopted a warm snapshot at construction
+
   void init();
+  void initPersistentCache(const Snapshot *Snap);
 };
 
 } // namespace vm

@@ -49,9 +49,20 @@ VmConfig failSpec(const std::string &Why, std::string *Error) {
 
 } // namespace
 
-VmConfig VmConfig::fromSpec(const std::string &Spec, std::string *Error) {
+VmConfig VmConfig::fromSpec(const std::string &FullSpec, std::string *Error) {
   if (Error)
     Error->clear();
+  // Session options ride after the scenario name as ",opt=value"; only
+  // "cache=<dir>" exists today. Split them off before the scenario parse
+  // so parameterized-kind paths keep their '/' handling untouched.
+  std::string Spec = FullSpec, CacheDir;
+  const size_t Comma = Spec.find(",cache=");
+  if (Comma != std::string::npos) {
+    CacheDir = Spec.substr(Comma + 7);
+    Spec = Spec.substr(0, Comma);
+    if (CacheDir.empty())
+      return failSpec("empty cache directory in '" + FullSpec + "'", Error);
+  }
   std::string Kind = Spec, Workload, ScaleText;
   size_t Slash = Spec.find('/');
   const size_t Eq = Spec.find('=');
@@ -105,6 +116,7 @@ VmConfig VmConfig::fromSpec(const std::string &Spec, std::string *Error) {
   if (!Workload.empty())
     C.workload(Workload);
   C.scale(Scale);
+  C.persistentCache(CacheDir);
   return C;
 }
 
@@ -115,5 +127,7 @@ std::string VmConfig::toSpec() const {
     if (Scale_ != 1)
       Spec += "@" + std::to_string(Scale_);
   }
+  if (!PersistentCacheDir_.empty())
+    Spec += ",cache=" + PersistentCacheDir_;
   return Spec;
 }

@@ -121,6 +121,25 @@ public:
   /// Bypasses the guest kernel: load \p Words at physical \p Base, reset
   /// the env and start executing there (the differential-fuzz setup).
   VmConfig &flatImage(std::vector<uint32_t> Words, uint32_t Base);
+  /// Enables the persistent translation cache (dbt/CodeCacheIo.h): at
+  /// boot, Vm looks for a cache file in \p Dir keyed by (guest image
+  /// checksum, translator + opt config, format version) and seeds
+  /// translations from it; at destruction it saves the session's
+  /// translations back. Empty (the default) disables persistence. The
+  /// directory must already exist. Spec strings carry it as
+  /// ",cache=<dir>".
+  VmConfig &persistentCache(std::string Dir) {
+    PersistentCacheDir_ = std::move(Dir);
+    return *this;
+  }
+  /// When false, a persistent-cache session loads at boot but never
+  /// writes the file back at destruction. Tools comparing sessions
+  /// against a fixed on-disk state use this (rdbt_serve's fresh-boot
+  /// twins must all observe the same file the master booted from).
+  VmConfig &persistentCacheSaveOnExit(bool Save) {
+    PersistentCacheSave_ = Save;
+    return *this;
+  }
   /// Forks the session off \p S (vm/Snapshot.h) instead of building the
   /// board from scratch: guest RAM is shared copy-on-write, device/env
   /// state is restored, and — for warm snapshots of the same translator
@@ -150,13 +169,15 @@ public:
   const std::vector<uint32_t> &flatImage() const { return FlatImage_; }
   uint32_t flatImageBase() const { return FlatImageBase_; }
   const Snapshot *snapshot() const { return Snapshot_; }
+  const std::string &persistentCache() const { return PersistentCacheDir_; }
+  bool persistentCacheSaveOnExit() const { return PersistentCacheSave_; }
 
   // --- Spec strings -------------------------------------------------------
 
-  /// Parses "<kind>[/<workload>[@<scale>]]". The kind must be registered
-  /// and the workload known; on failure the returned config is unusable
-  /// (Vm construction reports the error) and *Error, when given, says
-  /// why.
+  /// Parses "<kind>[/<workload>[@<scale>]][,cache=<dir>]". The kind must
+  /// be registered and the workload known; on failure the returned
+  /// config is unusable (Vm construction reports the error) and *Error,
+  /// when given, says why.
   static VmConfig fromSpec(const std::string &Spec,
                            std::string *Error = nullptr);
 
@@ -180,6 +201,8 @@ private:
   uint32_t FlatImageBase_ = 0;
   bool UseFlatImage_ = false;
   const Snapshot *Snapshot_ = nullptr;
+  std::string PersistentCacheDir_;
+  bool PersistentCacheSave_ = true;
 };
 
 } // namespace vm
