@@ -101,6 +101,16 @@ struct RunStats {
   uint64_t GapSeqs = 0;
   uint64_t GapTranslations = 0;
   uint64_t GapExecs = 0;
+  // Translation work actually performed, and persistent-cache provenance
+  // (dbt/CodeCacheIo.h). A warm boot against a complete cache file shows
+  // Translations == 0 with LoadedTbs covering every block; a run without
+  // a cache dir — or a cold run against an absent file — shows all three
+  // provenance counters at zero.
+  uint64_t Translations = 0;
+  uint64_t TranslatedGuestInstrs = 0;
+  uint64_t CacheFileHits = 0;
+  uint64_t CacheFileMisses = 0;
+  uint64_t LoadedTbs = 0;
   // Host wall-clock timing, split at the serving boundary (see
   // vm::RunReport::BootNs/RunNs). Nondeterministic, so excluded from the
   // perf-gated matrix JSON; writeRunStatsFields emits them only when
@@ -157,6 +167,11 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.GapSeqs = R.Profile.GapSeqs;
   S.GapTranslations = R.Profile.GapTranslations;
   S.GapExecs = R.Profile.GapExecs;
+  S.Translations = R.Engine.Translations;
+  S.TranslatedGuestInstrs = R.Engine.TranslatedGuestInstrs;
+  S.CacheFileHits = R.Cache.CacheFileHits;
+  S.CacheFileMisses = R.Cache.CacheFileMisses;
+  S.LoadedTbs = R.Cache.LoadedTbs;
   S.BootNs = R.BootNs;
   S.RunNs = R.RunNs;
   return S;
@@ -256,7 +271,12 @@ inline void writeRunStatsFields(Stream &OS, const RunStats &S,
      << ", \"rule_match_hits\": " << S.RuleMatchHits
      << ", \"gap_seqs\": " << S.GapSeqs
      << ", \"gap_translations\": " << S.GapTranslations
-     << ", \"gap_execs\": " << S.GapExecs;
+     << ", \"gap_execs\": " << S.GapExecs
+     << ", \"translations\": " << S.Translations
+     << ", \"translated_guest_instrs\": " << S.TranslatedGuestInstrs
+     << ", \"cache_file_hits\": " << S.CacheFileHits
+     << ", \"cache_file_misses\": " << S.CacheFileMisses
+     << ", \"loaded_tbs\": " << S.LoadedTbs;
   if (WithTiming)
     OS << ", \"boot_ns\": " << S.BootNs << ", \"run_ns\": " << S.RunNs;
 }

@@ -13,6 +13,7 @@
 //
 // Usage:
 //   rdbt_perfgate <baseline.json> <current.json> [--allow <key>[:<field>]]...
+//   rdbt_perfgate --warm <cold.json> <warm.json> [--allow <key>[:<field>]]...
 //   rdbt_perfgate --selfcheck
 //
 // --allow "qemu/mcf@1"            waives every counter of one scenario
@@ -21,6 +22,17 @@
 // Missing and newly-appearing scenarios both fail (the baseline must
 // describe exactly the matrix CI runs). --selfcheck exercises the parser
 // and comparator on built-in documents; registered with CTest.
+//
+// --warm compares a cold matrix against the warm rerun written by
+// `rdbt_scenarios --cache-dir` (BENCH_matrix_warm.json). Guest-visible
+// counters must still match the cold document exactly, but the
+// translation-work counters are gated instead of diffed: a warm boot
+// against the persistent cache must translate *nothing* (translations
+// and translated_guest_instrs exactly 0), load its cache file cleanly
+// (cache_file_hits == 1 wherever the cold run translated,
+// cache_file_misses == 0 — a miss means a corrupt or stale-keyed file),
+// while loaded_tbs and the translation-time rule-matching statistics
+// (zero when nothing translates) are informational.
 //
 //===----------------------------------------------------------------------===//
 
@@ -214,6 +226,74 @@ int compareMatrices(const MatrixDoc &Base, const MatrixDoc &Cur,
   return Regressions;
 }
 
+/// Cold-vs-warm comparison (--warm). \p Base is the cold document,
+/// \p Cur the warm rerun against the same cache directory. See the file
+/// header for the per-field rules.
+int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
+                const std::vector<std::string> &Allow,
+                std::vector<std::string> &Diffs) {
+  int Regressions = 0;
+  const auto Note = [&](const std::string &Line, bool Waived) {
+    Diffs.push_back((Waived ? "allowed: " : "FAIL: ") + Line);
+    if (!Waived)
+      ++Regressions;
+  };
+
+  if (Base.Scale != Cur.Scale)
+    Note("scale mismatch: cold " + Base.Scale + ", warm " + Cur.Scale, false);
+
+  for (const Cell &B : Base.Cells) {
+    const Cell *C = Cur.cell(B.Key);
+    if (!C) {
+      Note(B.Key + ": missing from warm run", allowed(Allow, B.Key, ""));
+      continue;
+    }
+    const std::string *ColdXlate = B.field("translations");
+    const bool ColdTranslated = ColdXlate && *ColdXlate != "0";
+    for (const auto &F : B.Fields) {
+      const std::string *V = C->field(F.first);
+      if (!V) {
+        Note(B.Key + "." + F.first + ": missing from warm run",
+             allowed(Allow, B.Key, F.first));
+        continue;
+      }
+      if (F.first == "translations" ||
+          F.first == "translated_guest_instrs") {
+        if (*V != "0")
+          Note(B.Key + "." + F.first + ": warm boot still translated (" +
+                   *V + ", must be 0)",
+               allowed(Allow, B.Key, F.first));
+      } else if (F.first == "cache_file_hits") {
+        if (ColdTranslated && *V != "1")
+          Note(B.Key + ".cache_file_hits: warm boot did not load its "
+                       "cache file (" + *V + ", must be 1)",
+               allowed(Allow, B.Key, F.first));
+      } else if (F.first == "cache_file_misses") {
+        if (*V != "0")
+          Note(B.Key + ".cache_file_misses: warm boot rejected a cache "
+                       "file (" + *V + ", must be 0)",
+               allowed(Allow, B.Key, F.first));
+      } else if (F.first == "loaded_tbs") {
+        // Informational: how many blocks the file seeded.
+      } else if (F.first == "rule_covered_instrs" ||
+                 F.first == "fallback_instrs" ||
+                 F.first == "rule_match_attempts" ||
+                 F.first == "rule_match_hits") {
+        // Translation-time statistics: a warm boot that translates
+        // nothing does no rule matching, so these drop to zero by
+        // design. The translations gate above already proves it.
+      } else if (*V != F.second) {
+        Note(B.Key + "." + F.first + ": cold " + F.second + " -> warm " + *V,
+             allowed(Allow, B.Key, F.first));
+      }
+    }
+  }
+  for (const Cell &C : Cur.Cells)
+    if (!Base.cell(C.Key))
+      Note(C.Key + ": not in cold run", allowed(Allow, C.Key, ""));
+  return Regressions;
+}
+
 int selfcheck() {
   const char *BaseText =
       "{\n  \"bench\": \"matrix\",\n  \"scale\": 1,\n  \"matrix\": {\n"
@@ -272,6 +352,61 @@ int selfcheck() {
   Check(compareMatrices(OneCell, Base, {}, Diffs) == 1,
         "new scenario must regress");
 
+  // --warm mode: guest counters exact, translation counters gated.
+  const char *ColdText =
+      "{\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 450, \"translations\": 36,"
+      " \"translated_guest_instrs\": 200, \"cache_file_hits\": 0,"
+      " \"cache_file_misses\": 0, \"loaded_tbs\": 0}\n  }\n}\n";
+  const char *WarmGoodText =
+      "{\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 450, \"translations\": 0,"
+      " \"translated_guest_instrs\": 0, \"cache_file_hits\": 1,"
+      " \"cache_file_misses\": 0, \"loaded_tbs\": 36}\n  }\n}\n";
+  const char *WarmStillXlates =
+      "{\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 450, \"translations\": 7,"
+      " \"translated_guest_instrs\": 40, \"cache_file_hits\": 1,"
+      " \"cache_file_misses\": 0, \"loaded_tbs\": 29}\n  }\n}\n";
+  const char *WarmRejected =
+      "{\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 450, \"translations\": 0,"
+      " \"translated_guest_instrs\": 0, \"cache_file_hits\": 0,"
+      " \"cache_file_misses\": 1, \"loaded_tbs\": 0}\n  }\n}\n";
+  const char *WarmDiverged =
+      "{\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 451, \"translations\": 0,"
+      " \"translated_guest_instrs\": 0, \"cache_file_hits\": 1,"
+      " \"cache_file_misses\": 0, \"loaded_tbs\": 36}\n  }\n}\n";
+
+  MatrixDoc Cold, WGood, WXlate, WReject, WDiverge;
+  Check(parseMatrix(ColdText, Cold, &Err), "parse cold");
+  Check(parseMatrix(WarmGoodText, WGood, &Err), "parse warm-good");
+  Check(parseMatrix(WarmStillXlates, WXlate, &Err), "parse warm-xlates");
+  Check(parseMatrix(WarmRejected, WReject, &Err), "parse warm-rejected");
+  Check(parseMatrix(WarmDiverged, WDiverge, &Err), "parse warm-diverged");
+
+  Diffs.clear();
+  Check(compareWarm(Cold, WGood, {}, Diffs) == 0,
+        "clean warm boot must pass --warm");
+  Diffs.clear();
+  Check(compareWarm(Cold, WXlate, {}, Diffs) == 2,
+        "warm translations must be gated to zero");
+  Diffs.clear();
+  // A rejected file regresses twice: the miss itself, and the hit the
+  // cold-translated cell was required to have.
+  Check(compareWarm(Cold, WReject, {}, Diffs) == 2,
+        "warm cache-file rejection must regress");
+  Diffs.clear();
+  Check(compareWarm(Cold, WDiverge, {}, Diffs) == 1,
+        "warm guest-counter divergence must regress");
+  Diffs.clear();
+  Check(compareWarm(Cold, WXlate,
+                    {"qemu/a@1:translations",
+                     "qemu/a@1:translated_guest_instrs"},
+                    Diffs) == 0,
+        "--warm must honor the allowlist");
+
   if (Failures == 0)
     std::printf("rdbt_perfgate selfcheck: all checks passed\n");
   return Failures ? 1 : 0;
@@ -295,10 +430,15 @@ int main(int argc, char **argv) {
 
   const char *BasePath = nullptr;
   const char *CurPath = nullptr;
+  bool WarmMode = false;
   std::vector<std::string> Allow;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--allow") == 0 && I + 1 < argc) {
       Allow.push_back(argv[++I]);
+      continue;
+    }
+    if (std::strcmp(argv[I], "--warm") == 0) {
+      WarmMode = true;
       continue;
     }
     if (!BasePath) {
@@ -315,6 +455,8 @@ int main(int argc, char **argv) {
   if (!BasePath || !CurPath) {
     std::fprintf(stderr,
                  "usage: rdbt_perfgate <baseline.json> <current.json> "
+                 "[--allow <key>[:<field>]]...\n"
+                 "       rdbt_perfgate --warm <cold.json> <warm.json> "
                  "[--allow <key>[:<field>]]...\n"
                  "       rdbt_perfgate --selfcheck\n");
     return 2;
@@ -340,19 +482,29 @@ int main(int argc, char **argv) {
   }
 
   std::vector<std::string> Diffs;
-  const int Regressions = compareMatrices(Base, Cur, Allow, Diffs);
+  const int Regressions = WarmMode ? compareWarm(Base, Cur, Allow, Diffs)
+                                   : compareMatrices(Base, Cur, Allow, Diffs);
   for (const std::string &D : Diffs)
     std::fprintf(Regressions ? stderr : stdout, "%s\n", D.c_str());
   if (Regressions) {
-    std::fprintf(stderr,
-                 "\nperf-gate: %d exact-count regression(s) across %zu "
-                 "baseline scenario(s)\n"
-                 "intentional? update the baseline in the same commit "
-                 "(see bench/README.md)\n",
-                 Regressions, Base.Cells.size());
+    if (WarmMode)
+      std::fprintf(stderr,
+                   "\nperf-gate: %d warm-boot regression(s) across %zu "
+                   "scenario(s)\n",
+                   Regressions, Base.Cells.size());
+    else
+      std::fprintf(stderr,
+                   "\nperf-gate: %d exact-count regression(s) across %zu "
+                   "baseline scenario(s)\n"
+                   "intentional? update the baseline in the same commit "
+                   "(see bench/README.md)\n",
+                   Regressions, Base.Cells.size());
     return 1;
   }
-  std::printf("perf-gate: %zu scenario(s) compared, every counter exact\n",
+  std::printf(WarmMode ? "perf-gate: %zu scenario(s) compared, warm boots "
+                         "translated nothing\n"
+                       : "perf-gate: %zu scenario(s) compared, every counter "
+                         "exact\n",
               Base.Cells.size());
   return 0;
 }

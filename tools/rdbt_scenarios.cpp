@@ -12,13 +12,21 @@
 //     registered kind. --json emits BENCH_scenarios.json through the
 //     bench/BenchCommon.h recorder.
 //
-//   rdbt_scenarios --jobs N [--json] [--corpus F] [scale]
+//   rdbt_scenarios --jobs N [--json] [--corpus F] [--cache-dir D] [scale]
 //     Full matrix: every registered kind x every workload at the given
 //     scale (default 1), executed by vm/BatchRunner on N worker threads.
 //     --json writes the merged BENCH_matrix.json — cells keyed
 //     "<kind>/<workload>@<scale>" in submission order, byte-identical
 //     regardless of N (the perf-gate baseline artifact; see
 //     tools/rdbt_perfgate and bench/README.md).
+//
+//     --cache-dir D runs the matrix twice against the persistent
+//     translation cache in D (dbt/CodeCacheIo.h): a cold pass that
+//     populates it, then a warm pass that must boot every engine cell
+//     from the saved files alone — identical console and final state,
+//     cache_file_hits == 1, translations == 0. --json additionally
+//     writes the warm pass as BENCH_matrix_warm.json (the
+//     rdbt_perfgate --warm artifact).
 //
 // The parameterized rule:file kind joins both modes when a corpus file
 // resolves: --corpus <path>, else $RDBT_RULE_CORPUS, else the checked-in
@@ -73,13 +81,13 @@ void printRow(const vm::RunReport &R) {
               R.hostPerGuest());
 }
 
-/// Writes BENCH_matrix.json honoring the RDBT_BENCH_JSON directory
+/// Writes a matrix document honoring the RDBT_BENCH_JSON directory
 /// convention ("1"/empty = current directory).
-bool writeMatrixFile(const std::string &Doc) {
+bool writeMatrixFile(const std::string &Doc, const char *Name) {
   const char *Env = std::getenv("RDBT_BENCH_JSON");
   const std::string Dir =
       (!Env || *Env == '\0' || std::string(Env) == "1") ? "." : Env;
-  const std::string Path = Dir + "/BENCH_matrix.json";
+  const std::string Path = Dir + "/" + Name;
   std::ofstream OS(Path);
   if (!OS) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -118,65 +126,39 @@ std::map<std::string, vm::Snapshot> captureBoards(uint32_t Scale) {
   return Snaps;
 }
 
-int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
-              const std::string &Corpus) {
-  std::vector<Cell> Cells;
-  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
-    const auto *Info = vm::TranslatorRegistry::global().find(Kind);
-    std::string Resolved = Kind;
-    if (Info && Info->TakesParam) {
-      if (Corpus.empty()) {
-        std::fprintf(stderr,
-                     "note: skipping %s (no corpus; pass --corpus or check "
-                     "in %s)\n", Kind.c_str(), DefaultCorpusPath);
-        continue;
-      }
-      Resolved = Kind + "=" + Corpus;
-    }
-    for (const auto &W : guestsw::workloads()) {
-      Cell C;
-      // The key names the kind, never the corpus path, so baselines stay
-      // stable across checkouts.
-      C.Key = Kind + "/" + W.Name + "@" + std::to_string(Scale);
-      C.Kind = Resolved;
-      C.Workload = W.Name;
-      Cells.push_back(std::move(C));
-    }
-  }
-
-  const std::map<std::string, vm::Snapshot> Boards = captureBoards(Scale);
+/// Runs every cell through the batch runner once. \p CacheDir, when
+/// non-empty, arms the persistent translation cache on every cell (a
+/// no-op for non-engine kinds); the cache key includes the guest image
+/// and the translator configuration, so all cells share one directory
+/// without collisions. Consoles are cross-checked per workload.
+std::vector<vm::RunReport> runBatch(const std::vector<Cell> &Cells,
+                                    const std::map<std::string, vm::Snapshot>
+                                        &Boards,
+                                    uint32_t Scale, unsigned Jobs,
+                                    const std::string &CacheDir,
+                                    int &Failures) {
   std::vector<vm::VmConfig> Configs;
   Configs.reserve(Cells.size());
   for (const Cell &C : Cells) {
     vm::VmConfig Cfg =
         vm::VmConfig().translator(C.Kind).workload(C.Workload).scale(Scale);
+    if (!CacheDir.empty())
+      Cfg.persistentCache(CacheDir);
     const auto It = Boards.find(C.Workload);
     if (It != Boards.end())
       Cfg.snapshot(&It->second);
     Configs.push_back(std::move(Cfg));
   }
 
-  std::printf("scenario matrix: %zu cells (%zu kinds x %zu workloads) at "
-              "scale %u, %u job(s)\n\n",
-              Cells.size(),
-              Cells.size() / guestsw::workloads().size(),
-              guestsw::workloads().size(), Scale, Jobs);
-
   const std::vector<vm::RunReport> Reports =
       vm::BatchRunner(Jobs).run(Configs);
 
   std::printf("%-28s %-14s %12s %14s %10s\n", "spec", "stop", "guest",
               "host cycles", "host/guest");
-  int Failures = 0;
   std::map<std::string, std::string> RefConsole; // workload -> console
-  std::vector<bench::MatrixCell> Out;
-  Out.reserve(Reports.size());
   for (size_t I = 0; I < Reports.size(); ++I) {
     const vm::RunReport &R = Reports[I];
-    const auto *Info = vm::TranslatorRegistry::global().find(Cells[I].Kind);
     printRow(R);
-    Out.push_back({Cells[I].Key,
-                   bench::fromReport(R, Info && Info->UsesEngine)});
     if (!R.Ok) {
       std::fprintf(stderr, "FAIL: %s stopped with '%s'%s%s\n",
                    Cells[I].Key.c_str(), R.stopName(),
@@ -194,16 +176,130 @@ int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
       ++Failures;
     }
   }
+  return Reports;
+}
 
-  if (Json && !writeMatrixFile(bench::formatMatrixJson(Out, Scale)))
+/// Converts a batch's reports to matrix cells for JSON emission.
+std::vector<bench::MatrixCell>
+toMatrixCells(const std::vector<Cell> &Cells,
+              const std::vector<vm::RunReport> &Reports) {
+  std::vector<bench::MatrixCell> Out;
+  Out.reserve(Reports.size());
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const auto *Info = vm::TranslatorRegistry::global().find(Cells[I].Kind);
+    Out.push_back({Cells[I].Key,
+                   bench::fromReport(Reports[I], Info && Info->UsesEngine)});
+  }
+  return Out;
+}
+
+int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
+              const std::string &Corpus, const std::string &CacheDir) {
+  std::vector<Cell> Cells;
+  for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
+    const auto *Info = vm::TranslatorRegistry::global().find(Kind);
+    std::string Resolved = Kind;
+    if (Info && Info->TakesParam) {
+      if (Corpus.empty()) {
+        std::fprintf(stderr,
+                     "note: skipping %s (no corpus; pass --corpus or check "
+                     "in %s)\n", Kind.c_str(), DefaultCorpusPath);
+        continue;
+      }
+      Resolved = Kind + "=" + Corpus;
+    }
+    for (const auto &W : guestsw::workloads()) {
+      Cell C;
+      // The key names the kind, never the corpus path (or cache dir), so
+      // baselines stay stable across checkouts.
+      C.Key = Kind + "/" + W.Name + "@" + std::to_string(Scale);
+      C.Kind = Resolved;
+      C.Workload = W.Name;
+      Cells.push_back(std::move(C));
+    }
+  }
+
+  const std::map<std::string, vm::Snapshot> Boards = captureBoards(Scale);
+
+  std::printf("scenario matrix: %zu cells (%zu kinds x %zu workloads) at "
+              "scale %u, %u job(s)%s\n\n",
+              Cells.size(),
+              Cells.size() / guestsw::workloads().size(),
+              guestsw::workloads().size(), Scale, Jobs,
+              CacheDir.empty() ? "" : " [cold pass]");
+
+  int Failures = 0;
+  const std::vector<vm::RunReport> Cold =
+      runBatch(Cells, Boards, Scale, Jobs, CacheDir, Failures);
+
+  if (Json &&
+      !writeMatrixFile(bench::formatMatrixJson(toMatrixCells(Cells, Cold),
+                                               Scale),
+                       "BENCH_matrix.json"))
     ++Failures;
+
+  if (!CacheDir.empty()) {
+    // Warm pass: every cold cell has destructed — and saved its cache
+    // file — so this second batch boots entirely from the directory. The
+    // warm-boot contract is checked per engine cell: identical console,
+    // identical final architectural state, and zero translations (every
+    // block comes from the file, counted in loaded_tbs).
+    std::printf("\nwarm pass against %s:\n\n", CacheDir.c_str());
+    const std::vector<vm::RunReport> Warm =
+        runBatch(Cells, Boards, Scale, Jobs, CacheDir, Failures);
+
+    std::printf("\n%-28s %12s %12s %10s %6s\n", "cell", "cold-xlate",
+                "warm-xlate", "loaded", "hits");
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      const auto *Info = vm::TranslatorRegistry::global().find(Cells[I].Kind);
+      if (!Info || !Info->UsesEngine)
+        continue;
+      const vm::RunReport &C = Cold[I], &W = Warm[I];
+      std::printf("%-28s %12llu %12llu %10llu %6llu\n", Cells[I].Key.c_str(),
+                  static_cast<unsigned long long>(C.Engine.Translations),
+                  static_cast<unsigned long long>(W.Engine.Translations),
+                  static_cast<unsigned long long>(W.Cache.LoadedTbs),
+                  static_cast<unsigned long long>(W.Cache.CacheFileHits));
+      if (W.Console != C.Console) {
+        std::fprintf(stderr, "FAIL: %s warm console differs from cold\n",
+                     Cells[I].Key.c_str());
+        ++Failures;
+      }
+      if (std::memcmp(&W.Final, &C.Final, sizeof(C.Final)) != 0) {
+        std::fprintf(stderr, "FAIL: %s warm final architectural state "
+                             "differs from cold\n", Cells[I].Key.c_str());
+        ++Failures;
+      }
+      if (W.Cache.CacheFileHits != 1) {
+        std::fprintf(stderr, "FAIL: %s warm run did not load its cache "
+                             "file (hits=%llu misses=%llu)\n",
+                     Cells[I].Key.c_str(),
+                     static_cast<unsigned long long>(W.Cache.CacheFileHits),
+                     static_cast<unsigned long long>(W.Cache.CacheFileMisses));
+        ++Failures;
+      }
+      if (W.Engine.Translations != 0) {
+        std::fprintf(stderr, "FAIL: %s warm run still translated %llu "
+                             "block(s)\n", Cells[I].Key.c_str(),
+                     static_cast<unsigned long long>(W.Engine.Translations));
+        ++Failures;
+      }
+    }
+
+    if (Json &&
+        !writeMatrixFile(bench::formatMatrixJson(toMatrixCells(Cells, Warm),
+                                                 Scale),
+                         "BENCH_matrix_warm.json"))
+      ++Failures;
+  }
 
   if (Failures) {
     std::fprintf(stderr, "\n%d matrix cell(s) failed\n", Failures);
     return 1;
   }
   std::printf("\nall %zu matrix cells clean; consoles identical per "
-              "workload\n", Cells.size());
+              "workload%s\n", Cells.size(),
+              CacheDir.empty() ? "" : "; warm boots translated nothing");
   return 0;
 }
 
@@ -213,6 +309,7 @@ int main(int argc, char **argv) {
   bool Json = false;
   const char *Workload = nullptr;
   const char *CorpusFlag = nullptr;
+  std::string CacheDir;
   uint32_t Scale = 1;
   bool HaveScale = false;
   bool Matrix = false;
@@ -256,6 +353,14 @@ int main(int argc, char **argv) {
       CorpusFlag = argv[++I];
       continue;
     }
+    if (std::strcmp(argv[I], "--cache-dir") == 0 && I + 1 < argc) {
+      CacheDir = argv[++I];
+      continue;
+    }
+    if (std::strncmp(argv[I], "--cache-dir=", 12) == 0) {
+      CacheDir = argv[I] + 12;
+      continue;
+    }
     if (!Matrix && !Workload && argv[I][0] != '-') {
       Workload = argv[I];
       continue;
@@ -281,7 +386,7 @@ int main(int argc, char **argv) {
                  "usage: rdbt_scenarios [--json] [--corpus F] [workload] "
                  "[scale]\n"
                  "       rdbt_scenarios --jobs N [--json] [--corpus F] "
-                 "[scale]\n"
+                 "[--cache-dir D] [scale]\n"
                  "       rdbt_scenarios --list\n", argv[I]);
     return 2;
   }
@@ -293,7 +398,13 @@ int main(int argc, char **argv) {
   }
 
   if (Matrix)
-    return runMatrix(Jobs, Scale, Json, Corpus);
+    return runMatrix(Jobs, Scale, Json, Corpus, CacheDir);
+
+  if (!CacheDir.empty()) {
+    std::fprintf(stderr,
+                 "--cache-dir needs matrix mode (add --jobs N)\n");
+    return 2;
+  }
 
   if (!Workload)
     Workload = "libquantum";

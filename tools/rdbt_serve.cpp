@@ -13,7 +13,15 @@
 //
 //   rdbt_serve [--spec S]... [--sessions N] [--jobs J] [--corpus F]
 //              [--item-cycles W] [--warm-items K] [--min-speedup X]
-//              [--no-fresh] [--json]
+//              [--cache-dir D] [--no-fresh] [--json]
+//
+// --cache-dir D composes the persistent translation cache
+// (dbt/CodeCacheIo.h) with snapshot forking: the master boots against
+// the cache file in D (near-zero translations on a warm serve — the
+// master cache line and master_* JSON fields show it) and saves on
+// exit; forks inherit the master's in-memory store; fresh-boot twins
+// load the same file but never save, so the file stays fixed for the
+// whole drain and the bitwise fork-vs-fresh verification still holds.
 //
 // A work item is a fixed wall-budget slice of guest execution
 // (--item-cycles, default 150000) against the booted image — the
@@ -142,6 +150,13 @@ struct SpecServe {
   uint64_t MasterPrepNs = 0;   ///< master construct + boot + warm time
   uint64_t AdoptedTbs = 0;     ///< warm TBs every fork inherits
   double NewTranslationsPerSession = 0; ///< post-capture code, paid per fork
+  // Master-boot persistent-cache provenance (--cache-dir): on a warm
+  // serve the master seeds its code cache from the saved file instead of
+  // translating, which is exactly the drop MasterPrepNs shows.
+  uint64_t MasterTranslations = 0;
+  uint64_t MasterCacheFileHits = 0;
+  uint64_t MasterCacheFileMisses = 0;
+  uint64_t MasterLoadedTbs = 0;
   Drain Forked, Fresh;
   double Speedup = 0;
   bool Verified = false;
@@ -158,6 +173,10 @@ struct SpecServe {
 /// BatchRunner cannot express the boot-then-budgeted-run sequence, so
 /// this uses the same worker-pool shape (atomic index, Jobs threads)
 /// for a like-for-like wall-time comparison.
+/// With --cache-dir the twins run load-only (persistentCacheSaveOnExit
+/// off): a twin that saved at destruction would rewrite the cache file
+/// mid-drain, and later twins would boot from a file the master never
+/// observed — diverging the bitwise fork-vs-fresh comparison.
 std::vector<vm::RunReport> freshDrain(const vm::VmConfig &Cfg,
                                       unsigned Sessions, unsigned Jobs,
                                       uint64_t WarmCycles,
@@ -194,7 +213,7 @@ std::vector<vm::RunReport> freshDrain(const vm::VmConfig &Cfg,
 /// divergence).
 bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
                uint64_t ItemCycles, unsigned WarmItems, bool RunFresh,
-               SpecServe &Out) {
+               const std::string &CacheDir, SpecServe &Out) {
   Out.Spec = Spec;
   std::string Err;
   vm::VmConfig Cfg = vm::VmConfig::fromSpec(Spec, &Err);
@@ -202,6 +221,8 @@ bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
     std::fprintf(stderr, "%s: %s\n", Spec.c_str(), Err.c_str());
     return false;
   }
+  if (!CacheDir.empty())
+    Cfg.persistentCache(CacheDir);
   const uint64_t WarmCycles = ItemCycles * WarmItems;
 
   // Boot the master once, warm the request path, freeze it there.
@@ -221,6 +242,10 @@ bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
   const vm::Snapshot Snap = Master.capture();
   Out.MasterPrepNs = PrepR.BootNs + PrepR.RunNs;
   Out.AdoptedTbs = Snap.warmTbs();
+  Out.MasterTranslations = PrepR.Engine.Translations;
+  Out.MasterCacheFileHits = PrepR.Cache.CacheFileHits;
+  Out.MasterCacheFileMisses = PrepR.Cache.CacheFileMisses;
+  Out.MasterLoadedTbs = PrepR.Cache.LoadedTbs;
 
   // Drain the work items as copy-on-write forks of the one snapshot.
   // In item mode each fork's wall budget is exactly one item.
@@ -267,10 +292,12 @@ bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
   }
 
   // The fresh-boot control: same N items, full construction + boot +
-  // warm replay each.
+  // warm replay each. Load-only against the cache dir (see freshDrain).
+  vm::VmConfig FreshCfg = Cfg;
+  FreshCfg.persistentCacheSaveOnExit(false);
   const uint64_t T1 = wallNs();
   const std::vector<vm::RunReport> Fresh =
-      freshDrain(Cfg, Sessions, Jobs, WarmCycles, ItemCycles);
+      freshDrain(FreshCfg, Sessions, Jobs, WarmCycles, ItemCycles);
   Out.Fresh = summarize(Fresh, wallNs() - T1);
   if (Out.Forked.WallNs)
     Out.Speedup = static_cast<double>(Out.Fresh.WallNs) /
@@ -296,6 +323,13 @@ void printServe(const SpecServe &S, unsigned Sessions) {
               S.MasterPrepNs / 1e6,
               static_cast<unsigned long long>(S.AdoptedTbs),
               S.NewTranslationsPerSession);
+  if (S.MasterCacheFileHits || S.MasterCacheFileMisses || S.MasterLoadedTbs)
+    std::printf("  master cache    hits %llu  misses %llu  loaded TBs %llu  "
+                "translations %llu\n",
+                static_cast<unsigned long long>(S.MasterCacheFileHits),
+                static_cast<unsigned long long>(S.MasterCacheFileMisses),
+                static_cast<unsigned long long>(S.MasterLoadedTbs),
+                static_cast<unsigned long long>(S.MasterTranslations));
   std::printf("  forked  (%4u)  %10.1f sessions/sec   p50 %8.3f ms   "
               "p99 %8.3f ms\n",
               Sessions, S.Forked.SessionsPerSec, S.Forked.P50Ns / 1e6,
@@ -332,6 +366,10 @@ bool writeServeJson(const std::vector<SpecServe> &Serves, unsigned Sessions,
        << S.MasterPrepNs << ", \"adopted_tbs\": " << S.AdoptedTbs
        << ", \"new_translations_per_session\": "
        << S.NewTranslationsPerSession
+       << ", \"master_translations\": " << S.MasterTranslations
+       << ", \"master_cache_file_hits\": " << S.MasterCacheFileHits
+       << ", \"master_cache_file_misses\": " << S.MasterCacheFileMisses
+       << ", \"master_loaded_tbs\": " << S.MasterLoadedTbs
        << ", \"verified_identical\": " << (S.Verified ? "true" : "false")
        << ", \"speedup\": " << S.Speedup
        << ",\n     \"forked\": {\"wall_ns\": " << S.Forked.WallNs
@@ -363,6 +401,7 @@ int main(int argc, char **argv) {
   double MinSpeedup = 0;
   bool RunFresh = true;
   bool Json = false;
+  std::string CacheDir;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--spec") == 0 && I + 1 < argc) {
@@ -381,6 +420,8 @@ int main(int argc, char **argv) {
       WarmItems = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (std::strcmp(argv[I], "--min-speedup") == 0 && I + 1 < argc) {
       MinSpeedup = std::atof(argv[++I]);
+    } else if (std::strcmp(argv[I], "--cache-dir") == 0 && I + 1 < argc) {
+      CacheDir = argv[++I];
     } else if (std::strcmp(argv[I], "--no-fresh") == 0) {
       RunFresh = false;
     } else if (std::strcmp(argv[I], "--json") == 0) {
@@ -391,7 +432,7 @@ int main(int argc, char **argv) {
                    "usage: rdbt_serve [--spec S]... [--sessions N] "
                    "[--jobs J] [--corpus F] [--item-cycles W] "
                    "[--warm-items K] [--min-speedup X] "
-                   "[--no-fresh] [--json]\n", argv[I]);
+                   "[--cache-dir D] [--no-fresh] [--json]\n", argv[I]);
       return 2;
     }
   }
@@ -419,7 +460,7 @@ int main(int argc, char **argv) {
   for (const std::string &Spec : Specs) {
     SpecServe S;
     if (!serveSpec(Spec, Sessions, Jobs, ItemCycles, WarmItems, RunFresh,
-                   S)) {
+                   CacheDir, S)) {
       ++Failures;
       continue;
     }
