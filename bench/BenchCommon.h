@@ -112,11 +112,14 @@ struct RunStats {
   uint64_t CacheFileMisses = 0;
   uint64_t LoadedTbs = 0;
   // Host wall-clock timing, split at the serving boundary (see
-  // vm::RunReport::BootNs/RunNs). Nondeterministic, so excluded from the
-  // perf-gated matrix JSON; writeRunStatsFields emits them only when
-  // asked (rdbt_serve's BENCH_serve.json does).
-  uint64_t BootNs = 0;
-  uint64_t RunNs = 0;
+  // vm::RunReport::Timing). Nondeterministic, so excluded from the
+  // perf-gated matrix JSON; writeTimingFields emits it only when asked
+  // (rdbt_serve's BENCH_serve.json does).
+  vm::RunReport::Timing Time;
+  // Observability results (vm::RunReport::ObsStats), present only when
+  // the run was traced. Emitted as the obs_* field family — waived by
+  // prefix in the perf gate, so they never trip the exact-count diff.
+  vm::RunReport::ObsStats Obs;
   bool Ok = false;
 
   double hostPerGuest() const {
@@ -172,8 +175,8 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.CacheFileHits = R.Cache.CacheFileHits;
   S.CacheFileMisses = R.Cache.CacheFileMisses;
   S.LoadedTbs = R.Cache.LoadedTbs;
-  S.BootNs = R.BootNs;
-  S.RunNs = R.RunNs;
+  S.Time = R.Time;
+  S.Obs = R.Obs;
   return S;
 }
 
@@ -241,10 +244,42 @@ inline std::string jsonEscape(const std::string &In) {
   return Out;
 }
 
+/// The one emitter of the wall-clock timing split: stable boot_ns/run_ns
+/// keys wherever timing appears in a JSON document. Callers decide
+/// *whether* timing belongs in their document (perf-gated documents must
+/// not include it); this decides how it is spelled.
+template <typename Stream>
+inline void writeTimingFields(Stream &OS, const vm::RunReport::Timing &T) {
+  OS << "\"boot_ns\": " << T.BootNs << ", \"run_ns\": " << T.RunNs;
+}
+
+/// Emits one obs histogram as a nested JSON object (counts only —
+/// deterministic fields first, min/max/mean depend on the recorded
+/// values, which for wall-time histograms are nondeterministic; callers
+/// put these objects only in non-gated documents).
+template <typename Stream>
+inline void writeHistogramJson(Stream &OS, const obs::Histogram &H) {
+  OS << "{\"count\": " << H.Count << ", \"sum\": " << H.Sum
+     << ", \"min\": " << (H.Count ? H.Min : 0) << ", \"max\": " << H.Max
+     << ", \"buckets\": [";
+  // Trailing zero buckets are elided so small histograms stay readable;
+  // bucket k >= 1 spans [2^(k-1), 2^k), bucket 0 is exact zeros.
+  unsigned Last = obs::Histogram::NumBuckets;
+  while (Last > 1 && H.Buckets[Last - 1] == 0)
+    --Last;
+  for (unsigned I = 0; I < Last; ++I)
+    OS << (I ? ", " : "") << H.Buckets[I];
+  OS << "]}";
+}
+
 /// Emits the canonical RunStats counter fields (the key set every
 /// BENCH_*.json run record and BENCH_matrix.json cell shares) — integer
 /// counters only, in a fixed order, so two emissions of equal stats are
-/// byte-identical. \p WithTiming additionally appends the wall-clock
+/// byte-identical. A traced run additionally carries the obs_* field
+/// family (flat scalars, so the perf gate's parser sees them and its
+/// --allow-prefix obs_ waiver can skip them); an untraced run emits no
+/// obs_* field at all, keeping its document byte-identical to pre-obs
+/// output. \p WithTiming additionally appends the wall-clock
 /// boot_ns/run_ns split; it defaults off because timing is
 /// nondeterministic and must never enter a perf-gated or
 /// byte-compared document (BENCH_matrix.json stays timing-free).
@@ -277,8 +312,22 @@ inline void writeRunStatsFields(Stream &OS, const RunStats &S,
      << ", \"cache_file_hits\": " << S.CacheFileHits
      << ", \"cache_file_misses\": " << S.CacheFileMisses
      << ", \"loaded_tbs\": " << S.LoadedTbs;
-  if (WithTiming)
-    OS << ", \"boot_ns\": " << S.BootNs << ", \"run_ns\": " << S.RunNs;
+  if (S.Obs.Enabled) {
+    OS << ", \"obs_events\": " << S.Obs.Events
+       << ", \"obs_dropped_events\": " << S.Obs.Dropped;
+    for (const auto &C : S.Obs.Metrics.counters())
+      OS << ", \"obs_" << jsonEscape(C.first) << "\": " << C.second;
+    for (const auto &H : S.Obs.Metrics.histograms()) {
+      const std::string N = jsonEscape(H.first);
+      OS << ", \"obs_" << N << "_count\": " << H.second.Count << ", \"obs_"
+         << N << "_sum\": " << H.second.Sum << ", \"obs_" << N
+         << "_max\": " << H.second.Max;
+    }
+  }
+  if (WithTiming) {
+    OS << ", ";
+    writeTimingFields(OS, S.Time);
+  }
 }
 
 /// One cell of a scenario matrix: a stable "<kind>/<workload>@<scale>"

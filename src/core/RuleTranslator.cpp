@@ -8,6 +8,7 @@
 
 #include "dbt/Helpers.h"
 #include "dbt/SoftmmuEmit.h"
+#include "obs/Trace.h"
 #include "profile/GapMiner.h"
 #include "sys/Env.h"
 
@@ -831,8 +832,18 @@ void BlockEmitter::run() {
 
 void RuleTranslator::translate(const dbt::GuestBlock &GB,
                                host::HostBlock &Out) {
+  // Sample the session matcher counters around the block so the per-block
+  // outcome can be reported without threading state through the emitter.
+  const uint64_t AttemptsBefore = Matches.Attempts;
+  const uint64_t HitsBefore = Matches.Hits;
   BlockEmitter BE(GB, Rules, Opt, Out, *this);
   BE.run();
+  const uint64_t Attempts = Matches.Attempts - AttemptsBefore;
+  const uint64_t Hits = Matches.Hits - HitsBefore;
+  RDBT_TRACE(Sink_, obs::EventKind::RuleMatch, GB.StartPc, Hits,
+             Attempts - Hits);
+  if (MatchAttemptsHist_)
+    MatchAttemptsHist_->record(Attempts);
 }
 
 bool RuleTranslator::allowChainFlagElision(const host::HostBlock &,
@@ -843,4 +854,9 @@ bool RuleTranslator::allowChainFlagElision(const host::HostBlock &,
 void RuleTranslator::noteFallbackExecuted(uint32_t GuestPc) {
   if (Miner)
     Miner->noteExecution(GuestPc);
+}
+
+void RuleTranslator::setObs(obs::TraceSink *Sink, obs::Metrics *M) {
+  Sink_ = Sink;
+  MatchAttemptsHist_ = M ? &M->histogram(obs::metric::MatchAttempts) : nullptr;
 }

@@ -42,6 +42,7 @@
 #define RDBT_CORE_RULETRANSLATOR_H
 
 #include "dbt/Translator.h"
+#include "obs/Metrics.h"
 #include "rules/RuleSet.h"
 
 namespace rdbt {
@@ -105,6 +106,10 @@ public:
 
   void noteFallbackExecuted(uint32_t GuestPc) override;
 
+  /// Observability hooks: per-block match outcomes go to the trace as
+  /// rule_match events and into the match_attempts histogram.
+  void setObs(obs::TraceSink *Sink, obs::Metrics *M) override;
+
   /// Translation-time statistics.
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;
@@ -120,6 +125,8 @@ private:
   const rules::RuleSet &Rules;
   OptConfig Opt;
   profile::GapMiner *Miner = nullptr;
+  obs::TraceSink *Sink_ = nullptr;
+  obs::Histogram *MatchAttemptsHist_ = nullptr;
 };
 
 } // namespace core

@@ -6,6 +6,8 @@
 
 #include "dbt/CodeCache.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -56,6 +58,7 @@ void CodeCache::invalidateOne(int TbId) {
   // Unlink every incoming chain that still targets this block, restoring
   // the flag-save code the chain-time elision killed: the predecessor's
   // exit now re-enters the emulator, which needs the flags in env.
+  uint64_t Unlinked = 0;
   for (const auto &[FromId, Slot] : E->Incoming) {
     Entry *F = entry(FromId);
     if (!F || !F->Block)
@@ -66,6 +69,7 @@ void CodeCache::invalidateOne(int TbId) {
     host::HostBlock::Chain &Ch = FB->Chains[Slot];
     Ch.TargetTb = -1;
     ++Stats.ChainsUnlinked;
+    ++Unlinked;
     if (Ch.FlagSaveBegin >= 0) {
       bool Revived = false;
       for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I)
@@ -78,6 +82,8 @@ void CodeCache::invalidateOne(int TbId) {
     }
   }
   E->Incoming.clear();
+  if (Unlinked)
+    RDBT_TRACE(Sink_, obs::EventKind::ChainUnlink, TbId, Unlinked);
 
   Index.erase(E->Key);
   E->Block.reset();
@@ -86,6 +92,8 @@ void CodeCache::invalidateOne(int TbId) {
 }
 
 void CodeCache::flush() {
+  RDBT_TRACE(Sink_, obs::EventKind::CacheInvalidate, /*scope=*/0, 0,
+             LiveBlocks);
   Stats.TbsInvalidated += LiveBlocks;
   BaseId += static_cast<int>(Entries.size());
   Entries.clear();
@@ -98,6 +106,7 @@ void CodeCache::flush() {
 
 void CodeCache::invalidateAsid(uint32_t Asid) {
   ++Stats.AsidInvalidations;
+  const size_t Before = LiveBlocks;
   const auto It = AsidIndex.find(Asid & 0xFFu);
   if (It != AsidIndex.end()) {
     for (const int Id : It->second) {
@@ -107,11 +116,14 @@ void CodeCache::invalidateAsid(uint32_t Asid) {
     }
     AsidIndex.erase(It);
   }
+  RDBT_TRACE(Sink_, obs::EventKind::CacheInvalidate, /*scope=*/1,
+             Asid & 0xFFu, Before - LiveBlocks);
   Stats.TbsRetained += LiveBlocks;
 }
 
 void CodeCache::invalidatePage(uint32_t PageVa) {
   ++Stats.PageInvalidations;
+  const size_t Before = LiveBlocks;
   const uint32_t Page = PageVa >> 12;
   const auto It = PageIndex.find(Page);
   if (It != PageIndex.end()) {
@@ -125,6 +137,8 @@ void CodeCache::invalidatePage(uint32_t PageVa) {
     // neighbouring pages' lists; prune them lazily when those lists are
     // next walked (the dead-entry check above).
   }
+  RDBT_TRACE(Sink_, obs::EventKind::CacheInvalidate, /*scope=*/2, Page,
+             Before - LiveBlocks);
   Stats.TbsRetained += LiveBlocks;
 }
 
@@ -146,7 +160,9 @@ bool CodeCache::chain(int FromTb, int Slot, int ToTb, bool ElideFlagSave) {
   Ch.TargetTb = ToTb;
   To->Incoming.emplace_back(FromTb, Slot);
   ++Stats.ChainsMade;
-  if (!ElideFlagSave || Ch.FlagSaveBegin < 0)
+  const bool Elided = ElideFlagSave && Ch.FlagSaveBegin >= 0;
+  RDBT_TRACE(Sink_, obs::EventKind::ChainPatch, FromTb, ToTb, Elided);
+  if (!Elided)
     return true;
   ++Stats.ChainsWithElision;
   for (int I = Ch.FlagSaveBegin; I < Ch.FlagSaveEnd; ++I) {

@@ -38,6 +38,7 @@
 #define RDBT_DBT_CODECACHE_H
 
 #include "host/HostMachine.h"
+#include "obs/TraceSink.h"
 
 #include <memory>
 #include <unordered_map>
@@ -176,6 +177,11 @@ public:
   /// Number of live (translated, not invalidated) blocks.
   size_t size() const { return LiveBlocks; }
 
+  /// Attaches the session's trace sink (null detaches). The cache only
+  /// records events through it — chain patches/unlinks, invalidations —
+  /// and never reads it, so an unattached cache behaves identically.
+  void setTraceSink(obs::TraceSink *S) { Sink_ = S; }
+
   CacheStats Stats;
 
   /// The canonical lookup key: one u64 per (PC, MMU index, ASID) triple.
@@ -221,6 +227,8 @@ private:
   /// because use_count == 1 proves exclusive ownership; images are
   /// immutable so nobody else's count can rise concurrently).
   host::HostBlock *privateBlock(Entry &E);
+
+  obs::TraceSink *Sink_ = nullptr; ///< owned by vm::Vm; null when untraced
 };
 
 } // namespace dbt

@@ -9,6 +9,7 @@
 #include "arm/Decoder.h"
 #include "dbt/CodeCacheIo.h"
 #include "dbt/Helpers.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 
@@ -34,6 +35,18 @@ bool Translator::allowChainFlagElision(const host::HostBlock &,
 }
 
 void Translator::noteFallbackExecuted(uint32_t) {}
+
+void Translator::setObs(obs::TraceSink *, obs::Metrics *) {}
+
+void DbtEngine::setObs(obs::TraceSink *Sink, obs::Metrics *M) {
+  Sink_ = Sink;
+  Metrics_ = M;
+  Cache.setTraceSink(Sink);
+  Xlat.setObs(Sink, M);
+  TranslateNsHist_ = M ? &M->histogram(obs::metric::TranslateNs) : nullptr;
+  GuestBlockLenHist_ = M ? &M->histogram(obs::metric::GuestBlockLen) : nullptr;
+  ChainDepthHist_ = M ? &M->histogram(obs::metric::ChainDepth) : nullptr;
+}
 
 DbtEngine::DbtEngine(sys::Platform &B, Translator &T)
     : Board(B), Xlat(T), Mmu_(B.Env, B), Interp(B.Env, Mmu_, B), Port(B),
@@ -67,12 +80,24 @@ int DbtEngine::translateAt(uint32_t Pc) {
   // a fresh translation.
   if (Store_ && Store_->lookup(GB.StartPc, GB.MmuIdx, Asid, GB.Words, Block)) {
     ++Cache.Stats.LoadedTbs;
+    RDBT_TRACE(Sink_, obs::EventKind::SeedBlock, GB.StartPc);
   } else {
+    const uint64_t T0 = Sink_ ? Sink_->now() : 0;
     Xlat.translate(GB, Block);
     assert(Block.GuestPc == Pc && "translator must fill GuestPc");
     Block.GuestWords = GB.Words;
     ++Stats.Translations;
     Stats.TranslatedGuestInstrs += GB.Insts.size();
+    if (Sink_) {
+      const uint64_t Ns = Sink_->now() - T0;
+      Sink_->recordSpan(obs::EventKind::TranslateBlock, T0, GB.StartPc,
+                        Block.Code.size() * sizeof(host::HInst),
+                        GB.Insts.size());
+      if (TranslateNsHist_)
+        TranslateNsHist_->record(Ns);
+    }
+    if (GuestBlockLenHist_)
+      GuestBlockLenHist_->record(GB.Insts.size());
   }
   if (RetainForSave_)
     Retained_[CodeCache::key(GB.StartPc, GB.MmuIdx, Asid)] =
@@ -150,6 +175,7 @@ StopReason DbtEngine::run(uint64_t MaxWallCycles) {
       Env.ExitRequest = 0;
       if (Interp.maybeTakeIrq()) {
         ++Stats.IrqsDelivered;
+        RDBT_TRACE(Sink_, obs::EventKind::IrqDelivered, Env.Regs[15]);
         Machine.Counters.Wall += cost::ExceptionEntry;
         Machine.Counters
             .ByClass[static_cast<unsigned>(host::CostClass::Helper)] +=
@@ -167,7 +193,10 @@ StopReason DbtEngine::run(uint64_t MaxWallCycles) {
     }
 
     enterCodeCache();
+    const uint64_t ChainsBefore = Machine.Counters.ChainFollows;
     const host::RunResult R = Machine.run(Cache, Tb);
+    if (ChainDepthHist_)
+      ChainDepthHist_->record(Machine.Counters.ChainFollows - ChainsBefore);
     // Settle the device clock to the cost consumed in the code cache.
     if (Machine.Counters.Wall > Board.now())
       Board.advance(Machine.Counters.Wall - Board.now());
@@ -261,6 +290,7 @@ host::HelperHandler::Outcome DbtEngine::emulateHelper(uint32_t GuestPc) {
   Out.Cost = cost::EmulateInstr;
   sys::CpuEnv &Env = Board.Env;
   Xlat.noteFallbackExecuted(GuestPc);
+  RDBT_TRACE(Sink_, obs::EventKind::FallbackEntry, GuestPc);
 
   // The paper's III-B deferred parse: emulating an instruction that
   // consumes flags forces the packed CCR to be exploded into QEMU's

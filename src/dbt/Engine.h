@@ -24,6 +24,8 @@
 #include "dbt/CodeCache.h"
 #include "dbt/Translator.h"
 #include "host/HostMachine.h"
+#include "obs/Metrics.h"
+#include "obs/TraceSink.h"
 #include "sys/Interpreter.h"
 #include "sys/Mmu.h"
 #include "sys/Platform.h"
@@ -109,6 +111,19 @@ public:
     return Retained_;
   }
 
+  /// Wires the session's observability hooks through the whole engine
+  /// stack: the trace sink reaches the code cache and the translator, the
+  /// metrics registry gets the engine-side histograms registered (and
+  /// their addresses cached, so the hot paths never do a name lookup).
+  /// Null pointers detach — the disabled state every session starts in.
+  void setObs(obs::TraceSink *Sink, obs::Metrics *M);
+
+  /// Turns on per-TB execution counting in the host machine (the
+  /// hot-block profiler's raw data; see Vm::hotBlocks). Counts index by
+  /// TB id and never feed any simulated counter.
+  void enableTbExecProfile() { Machine.TbExecs = &TbExecs_; }
+  const std::vector<uint64_t> &tbExecCounts() const { return TbExecs_; }
+
   EngineStats Stats;
   sys::Mmu &mmu() { return Mmu_; }
   CodeCache &codeCache() { return Cache; }
@@ -146,6 +161,15 @@ private:
   host::HostMachine Machine;
   std::shared_ptr<const TranslationStore> Store_;
   bool RetainForSave_ = false;
+  /// Observability hooks (owned by vm::Vm, null when disabled) and the
+  /// engine-side histograms cached at setObs time.
+  obs::TraceSink *Sink_ = nullptr;
+  obs::Metrics *Metrics_ = nullptr;
+  obs::Histogram *TranslateNsHist_ = nullptr;
+  obs::Histogram *GuestBlockLenHist_ = nullptr;
+  obs::Histogram *ChainDepthHist_ = nullptr;
+  /// Per-TB entry counts when enableTbExecProfile() armed them.
+  std::vector<uint64_t> TbExecs_;
   /// Ordered map so save-file bytes are deterministic for a
   /// deterministic run (concurrent savers of one key write identical
   /// files).

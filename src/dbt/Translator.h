@@ -21,6 +21,10 @@
 #include "host/HostInst.h"
 
 namespace rdbt {
+namespace obs {
+class TraceSink;
+class Metrics;
+} // namespace obs
 namespace dbt {
 
 /// Cost charged on every emulator-to-code-cache transition.
@@ -55,6 +59,11 @@ public:
   /// to its gap miner (profile/GapMiner.h) so mined translation gaps are
   /// ranked by dynamic weight; the default ignores it.
   virtual void noteFallbackExecuted(uint32_t GuestPc);
+
+  /// Attaches the session's observability hooks (DbtEngine::setObs
+  /// forwards them; null pointers detach). The default ignores them; the
+  /// rule translator records per-block match outcomes through them.
+  virtual void setObs(obs::TraceSink *Sink, obs::Metrics *M);
 };
 
 } // namespace dbt

@@ -152,14 +152,19 @@ RunResult HostMachine::run(const CodeSource &Src, int StartTb) {
   size_t I = 0;
   uint64_t Executed = 0;
 
-  auto EnterBlock = [this](const HostBlock *Blk) {
+  auto EnterBlock = [this](const HostBlock *Blk, int Tb) {
     ++Counters.TbEntries;
     Counters.GuestInstrs += Blk->NumGuestInstrs;
     Counters.GuestMemInstrs += Blk->NumMemInstrs;
     Counters.GuestSysInstrs += Blk->NumSysInstrs;
     Counters.IrqChecks += Blk->NumIrqChecks;
+    if (TbExecs) {
+      if (static_cast<size_t>(Tb) >= TbExecs->size())
+        TbExecs->resize(Tb + 1, 0);
+      ++(*TbExecs)[Tb];
+    }
   };
-  EnterBlock(B);
+  EnterBlock(B, StartTb);
 
   while (true) {
     assert(I < B->Code.size() && "fell off the end of a host block");
@@ -463,7 +468,7 @@ RunResult HostMachine::run(const CodeSource &Src, int StartTb) {
       assert(B && "chained to a flushed TB");
       I = 0;
       ++Counters.ChainFollows;
-      EnterBlock(B);
+      EnterBlock(B, CurTb);
       continue;
     }
 

@@ -24,6 +24,7 @@
 #include "host/HostInst.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace rdbt {
 namespace host {
@@ -121,6 +122,10 @@ public:
   uint64_t NextDeadline = ~0ull;
   /// Abort knob for runaway translated code (host instructions).
   uint64_t MaxInstrsPerRun = ~0ull;
+  /// When non-null, per-TB entry counts (indexed by TB id, grown on
+  /// demand) for the hot-block profiler. Never touches Counters, so the
+  /// simulated totals are identical with or without it.
+  std::vector<uint64_t> *TbExecs = nullptr;
 
 private:
   uint32_t R_[NumHostRegs] = {};

@@ -1,0 +1,127 @@
+//===- obs/Metrics.h - Named counters and log2 histograms -------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability subsystem (DESIGN.md §13): a
+/// per-session registry of named counters and fixed-bucket log2
+/// histograms. A vm::Vm owns one Metrics instance only when observability
+/// is enabled (VmConfig::trace), and the instrumented modules hold plain
+/// pointers that are null otherwise — so the disabled case costs one
+/// predictable branch per instrumentation point and the simulated
+/// execution counters are never touched either way.
+///
+/// Histograms use a fixed 33-bucket power-of-two layout: bucket 0 holds
+/// exact zeros, bucket k (k >= 1) holds values in [2^(k-1), 2^k). That
+/// covers the full uint64 range with no configuration and makes two
+/// histograms mergeable by plain addition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_OBS_METRICS_H
+#define RDBT_OBS_METRICS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace rdbt {
+namespace obs {
+
+/// Fixed-bucket log2 histogram over uint64 values.
+struct Histogram {
+  /// Bucket 0: value == 0. Bucket k >= 1: value in [2^(k-1), 2^k).
+  static constexpr unsigned NumBuckets = 33;
+
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~0ull; ///< meaningful only when Count > 0
+  uint64_t Max = 0;
+  uint64_t Buckets[NumBuckets] = {};
+
+  /// The bucket index \p V falls into.
+  static unsigned bucketOf(uint64_t V) {
+    if (V == 0)
+      return 0;
+    unsigned Bit = 0;
+    while (V >>= 1)
+      ++Bit;
+    // V in [2^Bit, 2^(Bit+1)) lands in bucket Bit+1; 64-bit values with
+    // the top bit set share the last bucket.
+    return Bit + 1 < NumBuckets ? Bit + 1 : NumBuckets - 1;
+  }
+
+  void record(uint64_t V) {
+    ++Count;
+    Sum += V;
+    if (V < Min)
+      Min = V;
+    if (V > Max)
+      Max = V;
+    ++Buckets[bucketOf(V)];
+  }
+
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
+  }
+};
+
+/// Registry of named counters and histograms. Registration order is
+/// stable, so two sessions instrumenting the same code paths emit their
+/// obs_* JSON fields in the same order. Lookups are linear — the registry
+/// holds a handful of entries and the instrumented modules cache the
+/// returned references, so the by-name path only runs at wiring time.
+/// Storage is a deque precisely so those cached references survive later
+/// registrations (a vector would invalidate the engine's cached histogram
+/// pointers the moment the translator registered its own).
+class Metrics {
+public:
+  /// The counter named \p Name, created at zero on first use. The
+  /// returned reference stays valid for the Metrics lifetime.
+  uint64_t &counter(const std::string &Name) {
+    for (auto &C : Counters_)
+      if (C.first == Name)
+        return C.second;
+    Counters_.emplace_back(Name, 0);
+    return Counters_.back().second;
+  }
+
+  /// The histogram named \p Name, created empty on first use. The
+  /// returned reference stays valid for the Metrics lifetime.
+  Histogram &histogram(const std::string &Name) {
+    for (auto &H : Histograms_)
+      if (H.first == Name)
+        return H.second;
+    Histograms_.emplace_back(Name, Histogram());
+    return Histograms_.back().second;
+  }
+
+  const std::deque<std::pair<std::string, uint64_t>> &counters() const {
+    return Counters_;
+  }
+  const std::deque<std::pair<std::string, Histogram>> &histograms() const {
+    return Histograms_;
+  }
+
+private:
+  std::deque<std::pair<std::string, uint64_t>> Counters_;
+  std::deque<std::pair<std::string, Histogram>> Histograms_;
+};
+
+/// The histogram names the engine-side instrumentation registers, in
+/// registration order (bench/BenchCommon.h flattens them into the
+/// obs_<name>_{count,sum,max} JSON field family).
+namespace metric {
+constexpr const char *TranslateNs = "translate_ns";    ///< wall ns per block
+constexpr const char *GuestBlockLen = "guest_block_len"; ///< instrs per block
+constexpr const char *MatchAttempts = "match_attempts"; ///< per translated block
+constexpr const char *ChainDepth = "chain_depth"; ///< follows per cache stint
+} // namespace metric
+
+} // namespace obs
+} // namespace rdbt
+
+#endif // RDBT_OBS_METRICS_H

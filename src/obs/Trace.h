@@ -1,0 +1,39 @@
+//===- obs/Trace.h - Null-check trace macros --------------------*- C++ -*-===//
+//
+// Part of RuleDBT. See DESIGN.md for the project overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation-site macros: a single null check when no sink is
+/// attached, a record() call when one is. Instrumented modules keep a
+/// `obs::TraceSink *` member (null unless the session was configured
+/// with VmConfig::trace) and write
+///
+///   RDBT_TRACE(Sink_, obs::EventKind::ChainPatch, From, To);
+///
+/// at each event point. Span sites sample Sink->now() behind the same
+/// null check and close with RDBT_TRACE_SPAN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RDBT_OBS_TRACE_H
+#define RDBT_OBS_TRACE_H
+
+#include "obs/TraceSink.h"
+
+/// Records an instant event on \p Sink if one is attached.
+#define RDBT_TRACE(Sink, ...)                                                  \
+  do {                                                                         \
+    if (Sink)                                                                  \
+      (Sink)->record(__VA_ARGS__);                                             \
+  } while (0)
+
+/// Records a span ending now on \p Sink if one is attached.
+#define RDBT_TRACE_SPAN(Sink, ...)                                             \
+  do {                                                                         \
+    if (Sink)                                                                  \
+      (Sink)->recordSpan(__VA_ARGS__);                                         \
+  } while (0)
+
+#endif // RDBT_OBS_TRACE_H

@@ -20,6 +20,7 @@
 
 #include "dbt/Engine.h"
 #include "host/HostMachine.h"
+#include "obs/Metrics.h"
 
 #include <cstdint>
 #include <string>
@@ -51,12 +52,29 @@ struct RunReport {
   /// getting the session ready to do work — Vm construction (full image
   /// build, or snapshot adoption when forked) plus any runToBootMark()
   /// slices — RunNs covers the ordinary run() calls. rdbt_serve's
-  /// session latency is their sum. Cumulative across resumed runs, like
+  /// session latency is totalNs(). Cumulative across resumed runs, like
   /// the counters. Nondeterministic by nature, so these never enter the
-  /// perf-gated matrix JSON (bench::writeRunStatsFields emits them only
-  /// on request).
-  uint64_t BootNs = 0;
-  uint64_t RunNs = 0;
+  /// perf-gated matrix JSON (bench::writeTimingFields, the one emitter,
+  /// runs only on request).
+  struct Timing {
+    uint64_t BootNs = 0;
+    uint64_t RunNs = 0;
+    uint64_t totalNs() const { return BootNs + RunNs; }
+  };
+  Timing Time;
+
+  /// Observability results (src/obs/), populated only when
+  /// VmConfig::trace armed the session; Enabled = false otherwise and
+  /// every field stays zero. Informational by nature (host wall time
+  /// feeds the histograms), so the bench JSON emits these as the
+  /// obs_*-prefixed field family the perf gate waives by prefix.
+  struct ObsStats {
+    bool Enabled = false;
+    uint64_t Events = 0;  ///< events recorded in the trace sink
+    uint64_t Dropped = 0; ///< events past the sink cap (never silent)
+    obs::Metrics Metrics; ///< named counters + log2 histograms
+  };
+  ObsStats Obs;
 
   /// True when this session was forked off a vm::Snapshot, plus the COW
   /// write-set it accumulated: guest RAM pages privatized by writes

@@ -6,15 +6,21 @@
 
 #include "vm/Vm.h"
 
+#include "arm/Decoder.h"
+#include "arm/Disasm.h"
 #include "core/RuleTranslator.h"
+#include "dbt/Helpers.h"
 #include "guestsw/MiniKernel.h"
 #include "guestsw/Workloads.h"
+#include "host/HostDisasm.h"
+#include "obs/Trace.h"
 #include "profile/GapMiner.h"
 #include "rules/RuleIo.h"
 #include "sys/Interpreter.h"
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 using namespace rdbt;
 using namespace rdbt::vm;
@@ -29,7 +35,7 @@ static uint64_t nowNs() {
 Vm::Vm(VmConfig C) : Cfg(std::move(C)) {
   const uint64_t T0 = nowNs();
   init();
-  BootNs_ += nowNs() - T0;
+  Time_.BootNs += nowNs() - T0;
 }
 
 void Vm::init() {
@@ -38,6 +44,14 @@ void Vm::init() {
     Error_ = "unknown translator kind '" + Cfg.translator() + "'";
     Board_ = std::make_unique<sys::Platform>(guestsw::KernelLayout::MinRam);
     return;
+  }
+
+  // Arm observability before anything that records: the sink and the
+  // metrics registry exist iff a trace path was configured, and every
+  // instrumented module below gets plain pointers (null = disabled).
+  if (!Cfg.trace().empty()) {
+    Sink_ = std::make_unique<obs::TraceSink>();
+    Metrics_ = std::make_unique<obs::Metrics>();
   }
 
   const Snapshot *Snap = Cfg.snapshot();
@@ -61,6 +75,8 @@ void Vm::init() {
     if (!Snap->HasRun_)
       Board_->Env.BlanketInvalidation =
           Cfg.blanketCacheInvalidation() ? 1u : 0u;
+    RDBT_TRACE(Sink_.get(), obs::EventKind::SnapshotFork,
+               Snap->Cache_ ? Snap->Cache_->LiveBlocks : 0);
   } else {
     const uint32_t Ram = Cfg.ramBytes()
                              ? Cfg.ramBytes()
@@ -136,6 +152,10 @@ void Vm::init() {
       Rule->setGapMiner(Cfg.gapMiner());
   Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
   Engine_->setRunawayGuard(Cfg.runawayGuard());
+  if (Sink_)
+    Engine_->setObs(Sink_.get(), Metrics_.get());
+  if (Cfg.profileHotBlocks())
+    Engine_->enableTbExecProfile();
 
   AdoptedWarm_ = Snap && Snap->HasRun_;
   if (AdoptedWarm_) {
@@ -231,16 +251,19 @@ void Vm::initPersistentCache(const Snapshot *Snap) {
   switch (dbt::CodeCacheIo::load(CachePath_, K, Img)) {
   case dbt::CacheLoad::Hit:
     ++Engine_->codeCache().Stats.CacheFileHits;
+    RDBT_TRACE(Sink_.get(), obs::EventKind::CacheFileLoad, /*outcome=*/0);
     Engine_->setTranslationStore(std::make_shared<const dbt::TranslationStore>(
         std::make_shared<const dbt::CodeCache::Image>(std::move(Img))));
     break;
   case dbt::CacheLoad::Rejected:
     // Corrupt, truncated, or stale-keyed file: a clean cold start.
     ++Engine_->codeCache().Stats.CacheFileMisses;
+    RDBT_TRACE(Sink_.get(), obs::EventKind::CacheFileLoad, /*outcome=*/1);
     break;
   case dbt::CacheLoad::Absent:
     // No file is simply a first run — counted nowhere, so a cold run
     // with a cache dir reports exactly like a run without one.
+    RDBT_TRACE(Sink_.get(), obs::EventKind::CacheFileLoad, /*outcome=*/2);
     break;
   }
 
@@ -275,8 +298,14 @@ Vm::~Vm() {
       Img.Entries.push_back(std::move(E));
     }
     Img.LiveBlocks = Img.Entries.size();
+    RDBT_TRACE(Sink_.get(), obs::EventKind::CacheFileSave,
+               Img.Entries.size());
     dbt::CodeCacheIo::save(CachePath_, Img, CacheKey_);
   }
+  // The timeline outlives the session only as its JSON file; written
+  // last, so it covers the cache-file save above.
+  if (Sink_)
+    Sink_->write(Cfg.trace(), Cfg.toSpec());
 }
 
 RunReport Vm::run() { return run(Cfg.wallBudget()); }
@@ -291,7 +320,7 @@ RunReport Vm::run(uint64_t WallBudget) {
   R.Forked = Forked_;
   if (!valid()) {
     R.Error = Error_;
-    R.BootNs = BootNs_;
+    R.Time = Time_;
     return R;
   }
 
@@ -328,11 +357,16 @@ RunReport Vm::run(uint64_t WallBudget) {
       }
     }
   }
-  RunNs_ += nowNs() - T0;
+  Time_.RunNs += nowNs() - T0;
   R.Ok = R.Stop == dbt::StopReason::GuestShutdown;
   R.Console = Board_->uart().output();
-  R.BootNs = BootNs_;
-  R.RunNs = RunNs_;
+  R.Time = Time_;
+  if (Sink_) {
+    R.Obs.Enabled = true;
+    R.Obs.Events = Sink_->size();
+    R.Obs.Dropped = Sink_->dropped();
+    R.Obs.Metrics = *Metrics_;
+  }
   R.CowPrivatePages = Board_->Ram.cowPrivatePages();
   sys::materializeFlags(Board_->Env);
   for (int I = 0; I < 16; ++I)
@@ -345,7 +379,7 @@ RunReport Vm::run(uint64_t WallBudget) {
 RunReport Vm::runToBootMark(uint64_t SliceCycles) {
   if (!SliceCycles)
     SliceCycles = 20000;
-  const uint64_t RunNsBefore = RunNs_;
+  const uint64_t RunNsBefore = Time_.RunNs;
   uint64_t Spent = 0;
   RunReport R;
   do {
@@ -355,10 +389,9 @@ RunReport Vm::runToBootMark(uint64_t SliceCycles) {
            Board_->Env.Mode != sys::ModeUsr && Spent < Cfg.wallBudget());
   // Boot time is setup cost, not serving cost: move this call's wall
   // time from the run accumulator to the boot accumulator.
-  BootNs_ += RunNs_ - RunNsBefore;
-  RunNs_ = RunNsBefore;
-  R.BootNs = BootNs_;
-  R.RunNs = RunNs_;
+  Time_.BootNs += Time_.RunNs - RunNsBefore;
+  Time_.RunNs = RunNsBefore;
+  R.Time = Time_;
   return R;
 }
 
@@ -366,11 +399,15 @@ Snapshot Vm::capture() {
   Snapshot S;
   if (!valid())
     return S;
+  RDBT_TRACE(Sink_.get(), obs::EventKind::SnapshotCapture,
+             Engine_ ? Engine_->codeCache().size() : 0);
   S.Cfg_ = Cfg;
   // Scrub per-session attachments: a fork stamped from S.config() must
   // not inherit another session's gap miner, external rule pointer, or
-  // snapshot chain (the corpus travels in S.Rules_ instead).
-  S.Cfg_.snapshot(nullptr).gapMiner(nullptr).rules(nullptr);
+  // snapshot chain (the corpus travels in S.Rules_ instead). The trace
+  // path is scrubbed too — a sink belongs to exactly one session, so a
+  // fork must opt into its own timeline at its own path.
+  S.Cfg_.snapshot(nullptr).gapMiner(nullptr).rules(nullptr).trace("");
 
   S.Env_ = Board_->Env;
   Board_->captureState(S.Board_);
@@ -412,4 +449,56 @@ std::unique_ptr<Vm> Vm::forkFrom(const Snapshot &S) {
   VmConfig C = S.config();
   C.snapshot(&S);
   return std::make_unique<Vm>(std::move(C));
+}
+
+std::vector<Vm::HotBlock> Vm::hotBlocks(size_t N) {
+  std::vector<HotBlock> Out;
+  if (!valid() || !Engine_ || N == 0)
+    return Out;
+  const std::vector<uint64_t> &Execs = Engine_->tbExecCounts();
+  dbt::CodeCache &Cache = Engine_->codeCache();
+  const uint64_t TotalGuest = Engine_->counters().GuestInstrs;
+
+  for (size_t Id = 0; Id < Execs.size(); ++Id) {
+    if (!Execs[Id])
+      continue;
+    // Blocks invalidated since they last ran have no code left to
+    // attribute; skip them rather than report half a profile line.
+    const host::HostBlock *B = Cache.block(static_cast<int>(Id));
+    if (!B)
+      continue;
+    HotBlock H;
+    H.TbId = static_cast<int>(Id);
+    H.GuestPc = B->GuestPc;
+    H.Execs = Execs[Id];
+    H.NumGuestInstrs = B->NumGuestInstrs;
+    if (TotalGuest)
+      H.ExecShare = static_cast<double>(H.Execs) * H.NumGuestInstrs /
+                    static_cast<double>(TotalGuest);
+    // Rule-coverage attribution straight from the host code: every
+    // emulate-helper call is one guest instruction the translator left
+    // to the interpreter; the rest were translated inline.
+    uint32_t Emulated = 0;
+    for (const host::HInst &HI : B->Code)
+      if (HI.Op == host::HOp::CallHelper && HI.Helper == dbt::HelperEmulate)
+        ++Emulated;
+    H.EmulatedInstrs = std::min(Emulated, H.NumGuestInstrs);
+    H.CoveredInstrs = H.NumGuestInstrs - H.EmulatedInstrs;
+    std::ostringstream GD;
+    for (size_t I = 0; I < B->GuestWords.size(); ++I) {
+      const uint32_t Pc = B->GuestPc + static_cast<uint32_t>(I) * 4;
+      GD << "  " << std::hex << Pc << std::dec << ": "
+         << arm::disassemble(arm::decode(B->GuestWords[I]), Pc) << "\n";
+    }
+    H.GuestDisasm = GD.str();
+    H.HostDisasm = host::disassembleBlock(*B);
+    Out.push_back(std::move(H));
+  }
+
+  std::sort(Out.begin(), Out.end(), [](const HotBlock &A, const HotBlock &B) {
+    return A.Execs != B.Execs ? A.Execs > B.Execs : A.TbId < B.TbId;
+  });
+  if (Out.size() > N)
+    Out.resize(N);
+  return Out;
 }

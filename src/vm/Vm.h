@@ -33,6 +33,8 @@
 
 #include "dbt/CodeCacheIo.h"
 #include "dbt/Engine.h"
+#include "obs/Metrics.h"
+#include "obs/TraceSink.h"
 #include "rules/RuleSet.h"
 #include "sys/Platform.h"
 #include "vm/RunReport.h"
@@ -42,6 +44,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace rdbt {
 namespace vm {
@@ -77,8 +80,8 @@ public:
   /// or the config's wall budget runs out. Because run() is
   /// resume-transparent, the slicing leaves every counter and all guest
   /// state exactly as an unsliced run would; the time spent is accounted
-  /// to RunReport::BootNs instead of RunNs. The canonical capture point
-  /// for serving: boot once, capture, fork per session.
+  /// to RunReport::Time.BootNs instead of RunNs. The canonical capture
+  /// point for serving: boot once, capture, fork per session.
   RunReport runToBootMark(uint64_t SliceCycles = 20000);
 
   /// Freezes the whole session into a self-contained Snapshot: RAM
@@ -102,6 +105,36 @@ public:
   /// --verbose-cache; tests forge stale files from the key).
   const std::string &cacheFilePath() const { return CachePath_; }
   const dbt::CacheKey &cacheKey() const { return CacheKey_; }
+
+  // --- Hot-block profiler (src/obs/) --------------------------------------
+
+  /// One entry of the hot-block profile: a live TB ranked by execution
+  /// count, with both disassemblies and rule-coverage attribution.
+  struct HotBlock {
+    int TbId = -1;
+    uint32_t GuestPc = 0;
+    uint64_t Execs = 0; ///< times the host machine entered this TB
+    /// This TB's share of all retired guest instructions
+    /// (Execs * NumGuestInstrs / Counters.GuestInstrs).
+    double ExecShare = 0;
+    uint32_t NumGuestInstrs = 0;
+    /// Rule-coverage attribution: guest instructions translated inline vs
+    /// left to the emulate helper (counted from the host code, so it is
+    /// exact for this block as translated).
+    uint32_t CoveredInstrs = 0;
+    uint32_t EmulatedInstrs = 0;
+    std::string GuestDisasm; ///< one line per guest instruction
+    std::string HostDisasm;  ///< host::disassembleBlock() rendering
+  };
+
+  /// The top-\p N live TBs by execution count. Requires
+  /// VmConfig::profileHotBlocks (and an engine kind); empty otherwise.
+  /// Blocks invalidated since their last execution no longer have code to
+  /// attribute and are skipped.
+  std::vector<HotBlock> hotBlocks(size_t N);
+
+  /// The session's trace sink (null unless VmConfig::trace armed it).
+  obs::TraceSink *traceSink() { return Sink_.get(); }
 
   // --- Escape hatches for tests and tooling -------------------------------
 
@@ -129,8 +162,15 @@ private:
   std::unique_ptr<dbt::Translator> Xlat_;
   std::unique_ptr<dbt::DbtEngine> Engine_;
   bool Forked_ = false;
-  uint64_t BootNs_ = 0; ///< construction + runToBootMark() wall time
-  uint64_t RunNs_ = 0;  ///< run() wall time, cumulative
+  /// Construction + runToBootMark() wall time (BootNs) and cumulative
+  /// run() wall time (RunNs); reported as RunReport::Time.
+  RunReport::Timing Time_;
+  /// Observability (src/obs/), created only when Cfg.trace() is set. The
+  /// sink is per-session and never crosses a snapshot: capture() does not
+  /// carry it, and a fork creates its own from its own config, so every
+  /// timeline belongs to exactly one session. Written out in ~Vm.
+  std::unique_ptr<obs::TraceSink> Sink_;
+  std::unique_ptr<obs::Metrics> Metrics_;
 
   // Persistent translation cache (dbt/CodeCacheIo.h). A session with a
   // cache dir loads its keyed file at init (each seeded block counted in

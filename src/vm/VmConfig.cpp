@@ -9,6 +9,8 @@
 #include "guestsw/Workloads.h"
 #include "vm/TranslatorRegistry.h"
 
+#include <algorithm>
+
 using namespace rdbt;
 using namespace rdbt::vm;
 
@@ -52,16 +54,37 @@ VmConfig failSpec(const std::string &Why, std::string *Error) {
 VmConfig VmConfig::fromSpec(const std::string &FullSpec, std::string *Error) {
   if (Error)
     Error->clear();
-  // Session options ride after the scenario name as ",opt=value"; only
-  // "cache=<dir>" exists today. Split them off before the scenario parse
-  // so parameterized-kind paths keep their '/' handling untouched.
-  std::string Spec = FullSpec, CacheDir;
-  const size_t Comma = Spec.find(",cache=");
+  // Session options ride after the scenario name as ",opt=value":
+  // "cache=<dir>" and "trace=<path>", in any order. Split them off before
+  // the scenario parse so parameterized-kind paths keep their '/' (and
+  // any incidental ',') handling untouched — only a segment starting with
+  // a known option key begins the option list.
+  std::string Spec = FullSpec, CacheDir, TracePath;
+  const size_t Comma =
+      std::min(Spec.find(",cache="), Spec.find(",trace="));
   if (Comma != std::string::npos) {
-    CacheDir = Spec.substr(Comma + 7);
+    std::string Opts = Spec.substr(Comma + 1);
     Spec = Spec.substr(0, Comma);
-    if (CacheDir.empty())
-      return failSpec("empty cache directory in '" + FullSpec + "'", Error);
+    while (!Opts.empty()) {
+      const size_t Next = Opts.find(',');
+      const std::string Item = Opts.substr(0, Next);
+      Opts = Next == std::string::npos ? std::string()
+                                       : Opts.substr(Next + 1);
+      if (Item.compare(0, 6, "cache=") == 0) {
+        CacheDir = Item.substr(6);
+        if (CacheDir.empty())
+          return failSpec("empty cache directory in '" + FullSpec + "'",
+                          Error);
+      } else if (Item.compare(0, 6, "trace=") == 0) {
+        TracePath = Item.substr(6);
+        if (TracePath.empty())
+          return failSpec("empty trace path in '" + FullSpec + "'", Error);
+      } else {
+        return failSpec("unknown session option '" + Item + "' in '" +
+                            FullSpec + "'",
+                        Error);
+      }
+    }
   }
   std::string Kind = Spec, Workload, ScaleText;
   size_t Slash = Spec.find('/');
@@ -117,6 +140,7 @@ VmConfig VmConfig::fromSpec(const std::string &FullSpec, std::string *Error) {
     C.workload(Workload);
   C.scale(Scale);
   C.persistentCache(CacheDir);
+  C.trace(TracePath);
   return C;
 }
 
@@ -129,5 +153,7 @@ std::string VmConfig::toSpec() const {
   }
   if (!PersistentCacheDir_.empty())
     Spec += ",cache=" + PersistentCacheDir_;
+  if (!TracePath_.empty())
+    Spec += ",trace=" + TracePath_;
   return Spec;
 }

@@ -151,6 +151,24 @@ public:
     Snapshot_ = S;
     return *this;
   }
+  /// Arms the observability subsystem (src/obs/): the session records a
+  /// typed event timeline plus the obs metrics registry, and writes the
+  /// timeline as Chrome trace-event JSON to \p Path at Vm destruction.
+  /// Empty (the default) disables it entirely — no sink exists and every
+  /// instrumentation point is a null check. Spec strings carry it as
+  /// ",trace=<path>". Tracing never touches simulated state: counters,
+  /// console bytes, and perf-gate numbers are bitwise identical either
+  /// way.
+  VmConfig &trace(std::string Path) {
+    TracePath_ = std::move(Path);
+    return *this;
+  }
+  /// Enables per-TB execution counting for Vm::hotBlocks(). Off by
+  /// default; like tracing, it never feeds any simulated counter.
+  VmConfig &profileHotBlocks(bool On) {
+    ProfileHotBlocks_ = On;
+    return *this;
+  }
 
   // --- Accessors ----------------------------------------------------------
 
@@ -171,13 +189,15 @@ public:
   const Snapshot *snapshot() const { return Snapshot_; }
   const std::string &persistentCache() const { return PersistentCacheDir_; }
   bool persistentCacheSaveOnExit() const { return PersistentCacheSave_; }
+  const std::string &trace() const { return TracePath_; }
+  bool profileHotBlocks() const { return ProfileHotBlocks_; }
 
   // --- Spec strings -------------------------------------------------------
 
-  /// Parses "<kind>[/<workload>[@<scale>]][,cache=<dir>]". The kind must
-  /// be registered and the workload known; on failure the returned
-  /// config is unusable (Vm construction reports the error) and *Error,
-  /// when given, says why.
+  /// Parses "<kind>[/<workload>[@<scale>]][,cache=<dir>][,trace=<path>]".
+  /// The kind must be registered and the workload known; on failure the
+  /// returned config is unusable (Vm construction reports the error) and
+  /// *Error, when given, says why.
   static VmConfig fromSpec(const std::string &Spec,
                            std::string *Error = nullptr);
 
@@ -203,6 +223,8 @@ private:
   const Snapshot *Snapshot_ = nullptr;
   std::string PersistentCacheDir_;
   bool PersistentCacheSave_ = true;
+  std::string TracePath_;
+  bool ProfileHotBlocks_ = false;
 };
 
 } // namespace vm

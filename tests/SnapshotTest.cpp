@@ -62,7 +62,7 @@ vm::VmConfig cfgFor(const std::string &Kind,
 /// Bitwise forked-vs-fresh comparison (the serve harness applies the
 /// same rule): everything a run reports except the two fork-provenance
 /// diagnostics AdoptedTbs/CowBlockCopies, which are 0 in fresh runs by
-/// construction, and the nondeterministic BootNs/RunNs timing.
+/// construction, and the nondeterministic RunReport::Time wall timing.
 void expectIdentical(const vm::RunReport &F, const vm::RunReport &R,
                      const std::string &Label) {
   EXPECT_EQ(0, std::memcmp(&F.Counters, &R.Counters, sizeof(F.Counters)))

@@ -13,11 +13,22 @@
 //
 // Usage:
 //   rdbt_perfgate <baseline.json> <current.json> [--allow <key>[:<field>]]...
+//                 [--allow-prefix <pfx>]...
 //   rdbt_perfgate --warm <cold.json> <warm.json> [--allow <key>[:<field>]]...
+//                 [--allow-prefix <pfx>]...
 //   rdbt_perfgate --selfcheck
 //
 // --allow "qemu/mcf@1"            waives every counter of one scenario
 // --allow "qemu/mcf@1:wall"       waives one counter of one scenario
+// --allow-prefix "obs_"           waives a field CLASS in every cell —
+//                                 fields whose name starts with the
+//                                 prefix. The observability family
+//                                 (obs_*: trace-armed runs append it on
+//                                 top of the exact counters) is host
+//                                 wall time by design, so CI compares a
+//                                 traced run against the untraced
+//                                 baseline with --allow-prefix obs_ and
+//                                 zero per-counter --allow entries.
 //
 // Missing and newly-appearing scenarios both fail (the baseline must
 // describe exactly the matrix CI runs). --selfcheck exercises the parser
@@ -174,8 +185,17 @@ bool parseMatrix(const std::string &Text, MatrixDoc &Doc,
   }
 }
 
-bool allowed(const std::vector<std::string> &Allow, const std::string &Key,
-             const std::string &Field) {
+bool allowed(const std::vector<std::string> &Allow,
+             const std::vector<std::string> &AllowPrefixes,
+             const std::string &Key, const std::string &Field) {
+  // --allow-prefix waives a whole field *class* in every cell — the
+  // obs_* observability family is informational by design (host wall
+  // time feeds it), so CI gates a traced run with --allow-prefix obs_
+  // and zero per-counter --allow entries.
+  if (!Field.empty())
+    for (const std::string &Pfx : AllowPrefixes)
+      if (Field.compare(0, Pfx.size(), Pfx) == 0)
+        return true;
   return std::find(Allow.begin(), Allow.end(), Key) != Allow.end() ||
          (!Field.empty() &&
           std::find(Allow.begin(), Allow.end(), Key + ":" + Field) !=
@@ -187,6 +207,7 @@ bool allowed(const std::vector<std::string> &Allow, const std::string &Key,
 /// differences are reported as notes but not counted).
 int compareMatrices(const MatrixDoc &Base, const MatrixDoc &Cur,
                     const std::vector<std::string> &Allow,
+                    const std::vector<std::string> &AllowPrefixes,
                     std::vector<std::string> &Diffs) {
   int Regressions = 0;
   const auto Note = [&](const std::string &Line, bool Waived) {
@@ -202,27 +223,27 @@ int compareMatrices(const MatrixDoc &Base, const MatrixDoc &Cur,
   for (const Cell &B : Base.Cells) {
     const Cell *C = Cur.cell(B.Key);
     if (!C) {
-      Note(B.Key + ": missing from current run", allowed(Allow, B.Key, ""));
+      Note(B.Key + ": missing from current run", allowed(Allow, AllowPrefixes, B.Key, ""));
       continue;
     }
     for (const auto &F : B.Fields) {
       const std::string *V = C->field(F.first);
       if (!V)
         Note(B.Key + "." + F.first + ": missing from current run",
-             allowed(Allow, B.Key, F.first));
+             allowed(Allow, AllowPrefixes, B.Key, F.first));
       else if (*V != F.second)
         Note(B.Key + "." + F.first + ": " + F.second + " -> " + *V,
-             allowed(Allow, B.Key, F.first));
+             allowed(Allow, AllowPrefixes, B.Key, F.first));
     }
     for (const auto &F : C->Fields)
       if (!B.field(F.first))
         Note(B.Key + "." + F.first + ": not in baseline",
-             allowed(Allow, B.Key, F.first));
+             allowed(Allow, AllowPrefixes, B.Key, F.first));
   }
   for (const Cell &C : Cur.Cells)
     if (!Base.cell(C.Key))
       Note(C.Key + ": not in baseline (update bench/baselines/)",
-           allowed(Allow, C.Key, ""));
+           allowed(Allow, AllowPrefixes, C.Key, ""));
   return Regressions;
 }
 
@@ -231,6 +252,7 @@ int compareMatrices(const MatrixDoc &Base, const MatrixDoc &Cur,
 /// header for the per-field rules.
 int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
                 const std::vector<std::string> &Allow,
+                const std::vector<std::string> &AllowPrefixes,
                 std::vector<std::string> &Diffs) {
   int Regressions = 0;
   const auto Note = [&](const std::string &Line, bool Waived) {
@@ -245,7 +267,7 @@ int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
   for (const Cell &B : Base.Cells) {
     const Cell *C = Cur.cell(B.Key);
     if (!C) {
-      Note(B.Key + ": missing from warm run", allowed(Allow, B.Key, ""));
+      Note(B.Key + ": missing from warm run", allowed(Allow, AllowPrefixes, B.Key, ""));
       continue;
     }
     const std::string *ColdXlate = B.field("translations");
@@ -254,7 +276,7 @@ int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
       const std::string *V = C->field(F.first);
       if (!V) {
         Note(B.Key + "." + F.first + ": missing from warm run",
-             allowed(Allow, B.Key, F.first));
+             allowed(Allow, AllowPrefixes, B.Key, F.first));
         continue;
       }
       if (F.first == "translations" ||
@@ -262,17 +284,17 @@ int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
         if (*V != "0")
           Note(B.Key + "." + F.first + ": warm boot still translated (" +
                    *V + ", must be 0)",
-               allowed(Allow, B.Key, F.first));
+               allowed(Allow, AllowPrefixes, B.Key, F.first));
       } else if (F.first == "cache_file_hits") {
         if (ColdTranslated && *V != "1")
           Note(B.Key + ".cache_file_hits: warm boot did not load its "
                        "cache file (" + *V + ", must be 1)",
-               allowed(Allow, B.Key, F.first));
+               allowed(Allow, AllowPrefixes, B.Key, F.first));
       } else if (F.first == "cache_file_misses") {
         if (*V != "0")
           Note(B.Key + ".cache_file_misses: warm boot rejected a cache "
                        "file (" + *V + ", must be 0)",
-               allowed(Allow, B.Key, F.first));
+               allowed(Allow, AllowPrefixes, B.Key, F.first));
       } else if (F.first == "loaded_tbs") {
         // Informational: how many blocks the file seeded.
       } else if (F.first == "rule_covered_instrs" ||
@@ -284,13 +306,13 @@ int compareWarm(const MatrixDoc &Base, const MatrixDoc &Cur,
         // design. The translations gate above already proves it.
       } else if (*V != F.second) {
         Note(B.Key + "." + F.first + ": cold " + F.second + " -> warm " + *V,
-             allowed(Allow, B.Key, F.first));
+             allowed(Allow, AllowPrefixes, B.Key, F.first));
       }
     }
   }
   for (const Cell &C : Cur.Cells)
     if (!Base.cell(C.Key))
-      Note(C.Key + ": not in cold run", allowed(Allow, C.Key, ""));
+      Note(C.Key + ": not in cold run", allowed(Allow, AllowPrefixes, C.Key, ""));
   return Regressions;
 }
 
@@ -327,16 +349,16 @@ int selfcheck() {
         "field value parsed");
 
   std::vector<std::string> Diffs;
-  Check(compareMatrices(Base, Same, {}, Diffs) == 0 && Diffs.empty(),
+  Check(compareMatrices(Base, Same, {}, {}, Diffs) == 0 && Diffs.empty(),
         "identical documents must pass");
   Diffs.clear();
-  Check(compareMatrices(Base, Regressed, {}, Diffs) == 1,
+  Check(compareMatrices(Base, Regressed, {}, {}, Diffs) == 1,
         "one changed counter must be one regression");
   Diffs.clear();
-  Check(compareMatrices(Base, Regressed, {"qemu/a@1:wall"}, Diffs) == 0,
+  Check(compareMatrices(Base, Regressed, {"qemu/a@1:wall"}, {}, Diffs) == 0,
         "key:field allowlist must waive the regression");
   Diffs.clear();
-  Check(compareMatrices(Base, Regressed, {"qemu/a@1"}, Diffs) == 0,
+  Check(compareMatrices(Base, Regressed, {"qemu/a@1"}, {}, Diffs) == 0,
         "whole-key allowlist must waive the regression");
 
   // A cell present only in one document fails in both directions.
@@ -346,11 +368,42 @@ int selfcheck() {
                     OneCell, &Err),
         "parse one-cell document");
   Diffs.clear();
-  Check(compareMatrices(Base, OneCell, {}, Diffs) == 1,
+  Check(compareMatrices(Base, OneCell, {}, {}, Diffs) == 1,
         "missing scenario must regress");
   Diffs.clear();
-  Check(compareMatrices(OneCell, Base, {}, Diffs) == 1,
+  Check(compareMatrices(OneCell, Base, {}, {}, Diffs) == 1,
         "new scenario must regress");
+
+  // --allow-prefix: the obs_* field class a trace-armed run appends on
+  // top of the exact counters. The counters themselves are still gated:
+  // a traced document with an obs_* delta AND a counter delta must keep
+  // regressing under the prefix waiver.
+  const char *TracedText =
+      "{\n  \"bench\": \"matrix\",\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"native/a@1\": {\"ok\": true, \"wall\": 100, \"guest_instrs\": 100},\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 450, \"guest_instrs\": 100,"
+      " \"obs_events\": 42, \"obs_translate_ns_count\": 7}\n  }\n}\n";
+  const char *TracedRegressedText =
+      "{\n  \"bench\": \"matrix\",\n  \"scale\": 1,\n  \"matrix\": {\n"
+      "    \"native/a@1\": {\"ok\": true, \"wall\": 100, \"guest_instrs\": 100},\n"
+      "    \"qemu/a@1\": {\"ok\": true, \"wall\": 451, \"guest_instrs\": 100,"
+      " \"obs_events\": 42, \"obs_translate_ns_count\": 7}\n  }\n}\n";
+  MatrixDoc Traced, TracedRegressed;
+  Check(parseMatrix(TracedText, Traced, &Err), "parse traced");
+  Check(parseMatrix(TracedRegressedText, TracedRegressed, &Err),
+        "parse traced-regressed");
+  Diffs.clear();
+  Check(compareMatrices(Base, Traced, {}, {}, Diffs) == 2,
+        "unwaived obs_ fields must regress");
+  Diffs.clear();
+  Check(compareMatrices(Base, Traced, {}, {"obs_"}, Diffs) == 0,
+        "--allow-prefix obs_ must waive the whole field class");
+  Diffs.clear();
+  Check(compareMatrices(Base, TracedRegressed, {}, {"obs_"}, Diffs) == 1,
+        "--allow-prefix must not waive an exact-counter regression");
+  Diffs.clear();
+  Check(compareMatrices(Traced, Base, {}, {"obs_"}, Diffs) == 0,
+        "--allow-prefix must waive obs_ fields missing from current");
 
   // --warm mode: guest counters exact, translation counters gated.
   const char *ColdText =
@@ -387,24 +440,24 @@ int selfcheck() {
   Check(parseMatrix(WarmDiverged, WDiverge, &Err), "parse warm-diverged");
 
   Diffs.clear();
-  Check(compareWarm(Cold, WGood, {}, Diffs) == 0,
+  Check(compareWarm(Cold, WGood, {}, {}, Diffs) == 0,
         "clean warm boot must pass --warm");
   Diffs.clear();
-  Check(compareWarm(Cold, WXlate, {}, Diffs) == 2,
+  Check(compareWarm(Cold, WXlate, {}, {}, Diffs) == 2,
         "warm translations must be gated to zero");
   Diffs.clear();
   // A rejected file regresses twice: the miss itself, and the hit the
   // cold-translated cell was required to have.
-  Check(compareWarm(Cold, WReject, {}, Diffs) == 2,
+  Check(compareWarm(Cold, WReject, {}, {}, Diffs) == 2,
         "warm cache-file rejection must regress");
   Diffs.clear();
-  Check(compareWarm(Cold, WDiverge, {}, Diffs) == 1,
+  Check(compareWarm(Cold, WDiverge, {}, {}, Diffs) == 1,
         "warm guest-counter divergence must regress");
   Diffs.clear();
   Check(compareWarm(Cold, WXlate,
                     {"qemu/a@1:translations",
                      "qemu/a@1:translated_guest_instrs"},
-                    Diffs) == 0,
+                    {}, Diffs) == 0,
         "--warm must honor the allowlist");
 
   if (Failures == 0)
@@ -432,9 +485,14 @@ int main(int argc, char **argv) {
   const char *CurPath = nullptr;
   bool WarmMode = false;
   std::vector<std::string> Allow;
+  std::vector<std::string> AllowPrefixes;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--allow") == 0 && I + 1 < argc) {
       Allow.push_back(argv[++I]);
+      continue;
+    }
+    if (std::strcmp(argv[I], "--allow-prefix") == 0 && I + 1 < argc) {
+      AllowPrefixes.push_back(argv[++I]);
       continue;
     }
     if (std::strcmp(argv[I], "--warm") == 0) {
@@ -455,9 +513,9 @@ int main(int argc, char **argv) {
   if (!BasePath || !CurPath) {
     std::fprintf(stderr,
                  "usage: rdbt_perfgate <baseline.json> <current.json> "
-                 "[--allow <key>[:<field>]]...\n"
+                 "[--allow <key>[:<field>]]... [--allow-prefix <pfx>]...\n"
                  "       rdbt_perfgate --warm <cold.json> <warm.json> "
-                 "[--allow <key>[:<field>]]...\n"
+                 "[--allow <key>[:<field>]]... [--allow-prefix <pfx>]...\n"
                  "       rdbt_perfgate --selfcheck\n");
     return 2;
   }
@@ -482,8 +540,9 @@ int main(int argc, char **argv) {
   }
 
   std::vector<std::string> Diffs;
-  const int Regressions = WarmMode ? compareWarm(Base, Cur, Allow, Diffs)
-                                   : compareMatrices(Base, Cur, Allow, Diffs);
+  const int Regressions =
+      WarmMode ? compareWarm(Base, Cur, Allow, AllowPrefixes, Diffs)
+               : compareMatrices(Base, Cur, Allow, AllowPrefixes, Diffs);
   for (const std::string &D : Diffs)
     std::fprintf(Regressions ? stderr : stdout, "%s\n", D.c_str());
   if (Regressions) {

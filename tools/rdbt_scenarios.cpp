@@ -7,12 +7,17 @@
 //
 // Two modes:
 //
-//   rdbt_scenarios [--json] [--corpus F] [workload] [scale]
+//   rdbt_scenarios [--json] [--corpus F] [--trace-dir D] [--hot N]
+//                  [workload] [scale]
 //     Single-workload smoke (default: libquantum 1): one row per
 //     registered kind. --json emits BENCH_scenarios.json through the
-//     bench/BenchCommon.h recorder.
+//     bench/BenchCommon.h recorder. --hot N turns on the per-TB
+//     execution profiler (src/obs/) and dumps each engine kind's top-N
+//     translation blocks — guest and host disassembly, execution share,
+//     rule-coverage attribution — after its run.
 //
-//   rdbt_scenarios --jobs N [--json] [--corpus F] [--cache-dir D] [scale]
+//   rdbt_scenarios --jobs N [--json] [--corpus F] [--cache-dir D]
+//                  [--trace-dir D] [scale]
 //     Full matrix: every registered kind x every workload at the given
 //     scale (default 1), executed by vm/BatchRunner on N worker threads.
 //     --json writes the merged BENCH_matrix.json — cells keyed
@@ -27,6 +32,14 @@
 //     cache_file_hits == 1, translations == 0. --json additionally
 //     writes the warm pass as BENCH_matrix_warm.json (the
 //     rdbt_perfgate --warm artifact).
+//
+// --trace-dir D (either mode) arms the observability sink on every
+// cell: each session writes a Chrome trace-event timeline to
+// D/<sanitized-cell-key>.trace.json (warm-pass cells get a -warm
+// suffix) and its matrix JSON grows the obs_* field family. Tracing
+// reads only host wall time — every counter, console byte, and
+// perf-gated field stays bitwise identical to an untraced run
+// (rdbt_perfgate --allow-prefix obs_ is the CI check).
 //
 // The parameterized rule:file kind joins both modes when a corpus file
 // resolves: --corpus <path>, else $RDBT_RULE_CORPUS, else the checked-in
@@ -79,6 +92,16 @@ void printRow(const vm::RunReport &R) {
               static_cast<unsigned long long>(R.guestInstrs()),
               static_cast<unsigned long long>(R.wall()),
               R.hostPerGuest());
+}
+
+/// A cell key as a file-name stem: '/', ':' and '=' become '_' so
+/// "rule:scheduling/libquantum@1" names exactly one trace file.
+std::string sanitizeKey(const std::string &Key) {
+  std::string Out = Key;
+  for (char &C : Out)
+    if (C == '/' || C == ':' || C == '=')
+      C = '_';
+  return Out;
 }
 
 /// Writes a matrix document honoring the RDBT_BENCH_JSON directory
@@ -136,6 +159,8 @@ std::vector<vm::RunReport> runBatch(const std::vector<Cell> &Cells,
                                         &Boards,
                                     uint32_t Scale, unsigned Jobs,
                                     const std::string &CacheDir,
+                                    const std::string &TraceDir,
+                                    const char *TraceSuffix,
                                     int &Failures) {
   std::vector<vm::VmConfig> Configs;
   Configs.reserve(Cells.size());
@@ -144,6 +169,12 @@ std::vector<vm::RunReport> runBatch(const std::vector<Cell> &Cells,
         vm::VmConfig().translator(C.Kind).workload(C.Workload).scale(Scale);
     if (!CacheDir.empty())
       Cfg.persistentCache(CacheDir);
+    // --trace-dir: one timeline per cell. Tracing reads only host wall
+    // time, so every matrix counter stays byte-identical to an untraced
+    // run — only the obs_* JSON field family appears on top.
+    if (!TraceDir.empty())
+      Cfg.trace(TraceDir + "/" + sanitizeKey(C.Key) + TraceSuffix +
+                ".trace.json");
     const auto It = Boards.find(C.Workload);
     if (It != Boards.end())
       Cfg.snapshot(&It->second);
@@ -194,7 +225,8 @@ toMatrixCells(const std::vector<Cell> &Cells,
 }
 
 int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
-              const std::string &Corpus, const std::string &CacheDir) {
+              const std::string &Corpus, const std::string &CacheDir,
+              const std::string &TraceDir) {
   std::vector<Cell> Cells;
   for (const std::string &Kind : vm::TranslatorRegistry::global().kinds()) {
     const auto *Info = vm::TranslatorRegistry::global().find(Kind);
@@ -230,7 +262,7 @@ int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
 
   int Failures = 0;
   const std::vector<vm::RunReport> Cold =
-      runBatch(Cells, Boards, Scale, Jobs, CacheDir, Failures);
+      runBatch(Cells, Boards, Scale, Jobs, CacheDir, TraceDir, "", Failures);
 
   if (Json &&
       !writeMatrixFile(bench::formatMatrixJson(toMatrixCells(Cells, Cold),
@@ -246,7 +278,8 @@ int runMatrix(unsigned Jobs, uint32_t Scale, bool Json,
     // block comes from the file, counted in loaded_tbs).
     std::printf("\nwarm pass against %s:\n\n", CacheDir.c_str());
     const std::vector<vm::RunReport> Warm =
-        runBatch(Cells, Boards, Scale, Jobs, CacheDir, Failures);
+        runBatch(Cells, Boards, Scale, Jobs, CacheDir, TraceDir, "-warm",
+                 Failures);
 
     std::printf("\n%-28s %12s %12s %10s %6s\n", "cell", "cold-xlate",
                 "warm-xlate", "loaded", "hits");
@@ -310,6 +343,8 @@ int main(int argc, char **argv) {
   const char *Workload = nullptr;
   const char *CorpusFlag = nullptr;
   std::string CacheDir;
+  std::string TraceDir;
+  size_t Hot = 0;
   uint32_t Scale = 1;
   bool HaveScale = false;
   bool Matrix = false;
@@ -361,6 +396,19 @@ int main(int argc, char **argv) {
       CacheDir = argv[I] + 12;
       continue;
     }
+    if (std::strcmp(argv[I], "--trace-dir") == 0 && I + 1 < argc) {
+      TraceDir = argv[++I];
+      continue;
+    }
+    if (std::strncmp(argv[I], "--trace-dir=", 12) == 0) {
+      TraceDir = argv[I] + 12;
+      continue;
+    }
+    if (std::strcmp(argv[I], "--hot") == 0 && I + 1 < argc) {
+      const int N = std::atoi(argv[++I]);
+      Hot = N > 0 ? static_cast<size_t>(N) : 0;
+      continue;
+    }
     if (!Matrix && !Workload && argv[I][0] != '-') {
       Workload = argv[I];
       continue;
@@ -383,10 +431,10 @@ int main(int argc, char **argv) {
     }
     std::fprintf(stderr,
                  "unexpected argument '%s'\n"
-                 "usage: rdbt_scenarios [--json] [--corpus F] [workload] "
-                 "[scale]\n"
+                 "usage: rdbt_scenarios [--json] [--corpus F] "
+                 "[--trace-dir D] [--hot N] [workload] [scale]\n"
                  "       rdbt_scenarios --jobs N [--json] [--corpus F] "
-                 "[--cache-dir D] [scale]\n"
+                 "[--cache-dir D] [--trace-dir D] [scale]\n"
                  "       rdbt_scenarios --list\n", argv[I]);
     return 2;
   }
@@ -397,8 +445,14 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  if (Matrix)
-    return runMatrix(Jobs, Scale, Json, Corpus, CacheDir);
+  if (Matrix) {
+    if (Hot) {
+      std::fprintf(stderr,
+                   "--hot needs single-workload mode (drop --jobs N)\n");
+      return 2;
+    }
+    return runMatrix(Jobs, Scale, Json, Corpus, CacheDir, TraceDir);
+  }
 
   if (!CacheDir.empty()) {
     std::fprintf(stderr,
@@ -435,6 +489,14 @@ int main(int argc, char **argv) {
         vm::VmConfig().translator(SpecKind).workload(Workload).scale(Scale);
     if (!Board.empty())
       Cfg.snapshot(&Board);
+    // --trace-dir: one timeline per kind, named like a matrix cell.
+    if (!TraceDir.empty())
+      Cfg.trace(TraceDir + "/" +
+                sanitizeKey(Kind + "_" + Workload + "@" +
+                            std::to_string(Scale)) +
+                ".trace.json");
+    if (Hot)
+      Cfg.profileHotBlocks(true);
     vm::Vm V(std::move(Cfg));
     if (!V.valid()) {
       std::fprintf(stderr, "%s/%s: %s\n", SpecKind.c_str(), Workload,
@@ -460,6 +522,37 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "FAIL: %s console diverged from the first "
                            "executor\n", R.Spec.c_str());
       ++Failures;
+    }
+    if (Hot) {
+      // Hot-block profile (src/obs/): top-N live TBs by execution
+      // count, with both disassemblies and rule-coverage attribution.
+      // The native executor has no TBs and prints nothing.
+      const std::vector<vm::Vm::HotBlock> Blocks = V.hotBlocks(Hot);
+      for (size_t BI = 0; BI < Blocks.size(); ++BI) {
+        const vm::Vm::HotBlock &B = Blocks[BI];
+        std::printf("\n  #%zu tb %d @ 0x%08x: %llu entries, %.2f%% of "
+                    "retired guest instrs\n"
+                    "     %u guest instr(s): %u rule-covered, %u via the "
+                    "emulate helper\n",
+                    BI + 1, B.TbId, B.GuestPc,
+                    static_cast<unsigned long long>(B.Execs),
+                    B.ExecShare * 100.0, B.NumGuestInstrs, B.CoveredInstrs,
+                    B.EmulatedInstrs);
+        std::printf("    guest:\n%s    host:\n", B.GuestDisasm.c_str());
+        // Indent the host disassembly to match.
+        std::string Line;
+        for (char C : B.HostDisasm) {
+          Line += C;
+          if (C == '\n') {
+            std::printf("      %s", Line.c_str());
+            Line.clear();
+          }
+        }
+        if (!Line.empty())
+          std::printf("      %s\n", Line.c_str());
+      }
+      if (!Blocks.empty())
+        std::printf("\n");
     }
   }
 

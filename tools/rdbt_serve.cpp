@@ -13,7 +13,15 @@
 //
 //   rdbt_serve [--spec S]... [--sessions N] [--jobs J] [--corpus F]
 //              [--item-cycles W] [--warm-items K] [--min-speedup X]
-//              [--cache-dir D] [--no-fresh] [--json]
+//              [--cache-dir D] [--trace-dir D] [--no-fresh] [--json]
+//
+// --trace-dir D arms the observability sink (src/obs/) on every forked
+// session, writing one Chrome trace-event timeline per fork to
+// D/serve-spec<i>-fork<j>.trace.json. The sink never crosses the
+// snapshot, so each fork's timeline is its own; the bitwise
+// fork-vs-fresh verification is unaffected (tracing reads only host
+// wall time, never simulated state). --json additionally reports the
+// full fork-vs-fresh session-latency distributions as log2 histograms.
 //
 // --cache-dir D composes the persistent translation cache
 // (dbt/CodeCacheIo.h) with snapshot forking: the master boots against
@@ -79,12 +87,16 @@ uint64_t wallNs() {
           .count());
 }
 
-/// Latency distribution of one drain: per-session BootNs + RunNs.
+/// Latency distribution of one drain: per-session Time.totalNs().
 struct Drain {
   uint64_t WallNs = 0;    ///< whole-batch wall time
   uint64_t P50Ns = 0;
   uint64_t P99Ns = 0;
   double SessionsPerSec = 0;
+  /// Full session-latency distribution (log2-bucketed, obs/Metrics.h) —
+  /// the p50/p99 pair above collapses the fork-vs-fresh story to two
+  /// points; the histogram shows the whole shape in BENCH_serve.json.
+  obs::Histogram LatencyHist;
 };
 
 Drain summarize(const std::vector<vm::RunReport> &Reports, uint64_t WallNs) {
@@ -92,8 +104,10 @@ Drain summarize(const std::vector<vm::RunReport> &Reports, uint64_t WallNs) {
   D.WallNs = WallNs;
   std::vector<uint64_t> Lat;
   Lat.reserve(Reports.size());
-  for (const vm::RunReport &R : Reports)
-    Lat.push_back(R.BootNs + R.RunNs);
+  for (const vm::RunReport &R : Reports) {
+    Lat.push_back(R.Time.totalNs());
+    D.LatencyHist.record(R.Time.totalNs());
+  }
   std::sort(Lat.begin(), Lat.end());
   if (!Lat.empty()) {
     D.P50Ns = Lat[Lat.size() / 2];
@@ -213,7 +227,8 @@ std::vector<vm::RunReport> freshDrain(const vm::VmConfig &Cfg,
 /// divergence).
 bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
                uint64_t ItemCycles, unsigned WarmItems, bool RunFresh,
-               const std::string &CacheDir, SpecServe &Out) {
+               const std::string &CacheDir, const std::string &TraceDir,
+               SpecServe &Out, size_t SpecIdx) {
   Out.Spec = Spec;
   std::string Err;
   vm::VmConfig Cfg = vm::VmConfig::fromSpec(Spec, &Err);
@@ -240,7 +255,7 @@ bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
     return false;
   }
   const vm::Snapshot Snap = Master.capture();
-  Out.MasterPrepNs = PrepR.BootNs + PrepR.RunNs;
+  Out.MasterPrepNs = PrepR.Time.totalNs();
   Out.AdoptedTbs = Snap.warmTbs();
   Out.MasterTranslations = PrepR.Engine.Translations;
   Out.MasterCacheFileHits = PrepR.Cache.CacheFileHits;
@@ -252,7 +267,14 @@ bool serveSpec(const std::string &Spec, unsigned Sessions, unsigned Jobs,
   vm::VmConfig ForkCfg = vm::VmConfig(Cfg).snapshot(&Snap);
   if (ItemCycles)
     ForkCfg.wallBudget(ItemCycles);
-  const std::vector<vm::VmConfig> ForkCfgs(Sessions, ForkCfg);
+  // --trace-dir: one timeline per fork. The sink never crosses the
+  // snapshot (capture() scrubs it), so each fork opts in at its own
+  // path here; counters stay bitwise identical to the untraced drain.
+  std::vector<vm::VmConfig> ForkCfgs(Sessions, ForkCfg);
+  if (!TraceDir.empty())
+    for (unsigned I = 0; I < Sessions; ++I)
+      ForkCfgs[I].trace(TraceDir + "/serve-spec" + std::to_string(SpecIdx) +
+                        "-fork" + std::to_string(I) + ".trace.json");
   const uint64_t T0 = wallNs();
   const std::vector<vm::RunReport> Forked =
       vm::BatchRunner(Jobs).run(ForkCfgs);
@@ -375,11 +397,15 @@ bool writeServeJson(const std::vector<SpecServe> &Serves, unsigned Sessions,
        << ",\n     \"forked\": {\"wall_ns\": " << S.Forked.WallNs
        << ", \"sessions_per_sec\": " << S.Forked.SessionsPerSec
        << ", \"p50_ns\": " << S.Forked.P50Ns
-       << ", \"p99_ns\": " << S.Forked.P99Ns << "}"
+       << ", \"p99_ns\": " << S.Forked.P99Ns << ", \"latency_hist\": ";
+    bench::writeHistogramJson(OS, S.Forked.LatencyHist);
+    OS << "}"
        << ",\n     \"fresh\": {\"wall_ns\": " << S.Fresh.WallNs
        << ", \"sessions_per_sec\": " << S.Fresh.SessionsPerSec
        << ", \"p50_ns\": " << S.Fresh.P50Ns
-       << ", \"p99_ns\": " << S.Fresh.P99Ns << "}"
+       << ", \"p99_ns\": " << S.Fresh.P99Ns << ", \"latency_hist\": ";
+    bench::writeHistogramJson(OS, S.Fresh.LatencyHist);
+    OS << "}"
        << ",\n     \"session\": {";
     bench::writeRunStatsFields(OS, S.Session, /*WithTiming=*/true);
     OS << "}}";
@@ -402,6 +428,7 @@ int main(int argc, char **argv) {
   bool RunFresh = true;
   bool Json = false;
   std::string CacheDir;
+  std::string TraceDir;
 
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--spec") == 0 && I + 1 < argc) {
@@ -422,6 +449,8 @@ int main(int argc, char **argv) {
       MinSpeedup = std::atof(argv[++I]);
     } else if (std::strcmp(argv[I], "--cache-dir") == 0 && I + 1 < argc) {
       CacheDir = argv[++I];
+    } else if (std::strcmp(argv[I], "--trace-dir") == 0 && I + 1 < argc) {
+      TraceDir = argv[++I];
     } else if (std::strcmp(argv[I], "--no-fresh") == 0) {
       RunFresh = false;
     } else if (std::strcmp(argv[I], "--json") == 0) {
@@ -432,7 +461,8 @@ int main(int argc, char **argv) {
                    "usage: rdbt_serve [--spec S]... [--sessions N] "
                    "[--jobs J] [--corpus F] [--item-cycles W] "
                    "[--warm-items K] [--min-speedup X] "
-                   "[--cache-dir D] [--no-fresh] [--json]\n", argv[I]);
+                   "[--cache-dir D] [--trace-dir D] [--no-fresh] "
+                   "[--json]\n", argv[I]);
       return 2;
     }
   }
@@ -457,10 +487,11 @@ int main(int argc, char **argv) {
 
   std::vector<SpecServe> Serves;
   int Failures = 0;
-  for (const std::string &Spec : Specs) {
+  for (size_t SpecIdx = 0; SpecIdx < Specs.size(); ++SpecIdx) {
+    const std::string &Spec = Specs[SpecIdx];
     SpecServe S;
     if (!serveSpec(Spec, Sessions, Jobs, ItemCycles, WarmItems, RunFresh,
-                   CacheDir, S)) {
+                   CacheDir, TraceDir, S, SpecIdx)) {
       ++Failures;
       continue;
     }
