@@ -111,6 +111,12 @@ struct RunStats {
   uint64_t CacheFileHits = 0;
   uint64_t CacheFileMisses = 0;
   uint64_t LoadedTbs = 0;
+  // Interpreter decoded-instruction cache behavior (DESIGN.md §14).
+  // Deterministic for a deterministic run, but configuration-dependent by
+  // design (",ifp=off" forces every decode to a miss), so A/B gates that
+  // compare across ifp settings waive them with --allow-prefix interp_.
+  uint64_t InterpDecodeHits = 0;
+  uint64_t InterpDecodeMisses = 0;
   // Host wall-clock timing, split at the serving boundary (see
   // vm::RunReport::Timing). Nondeterministic, so excluded from the
   // perf-gated matrix JSON; writeTimingFields emits it only when asked
@@ -175,6 +181,8 @@ inline RunStats fromReport(const vm::RunReport &R, bool EngineRun = true) {
   S.CacheFileHits = R.Cache.CacheFileHits;
   S.CacheFileMisses = R.Cache.CacheFileMisses;
   S.LoadedTbs = R.Cache.LoadedTbs;
+  S.InterpDecodeHits = R.InterpDecodeHits;
+  S.InterpDecodeMisses = R.InterpDecodeMisses;
   S.Time = R.Time;
   S.Obs = R.Obs;
   return S;
@@ -311,7 +319,9 @@ inline void writeRunStatsFields(Stream &OS, const RunStats &S,
      << ", \"translated_guest_instrs\": " << S.TranslatedGuestInstrs
      << ", \"cache_file_hits\": " << S.CacheFileHits
      << ", \"cache_file_misses\": " << S.CacheFileMisses
-     << ", \"loaded_tbs\": " << S.LoadedTbs;
+     << ", \"loaded_tbs\": " << S.LoadedTbs
+     << ", \"interp_decode_hits\": " << S.InterpDecodeHits
+     << ", \"interp_decode_misses\": " << S.InterpDecodeMisses;
   if (S.Obs.Enabled) {
     OS << ", \"obs_events\": " << S.Obs.Events
        << ", \"obs_dropped_events\": " << S.Obs.Dropped;

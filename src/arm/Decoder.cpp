@@ -267,3 +267,34 @@ Inst arm::decode(uint32_t Word) {
   }
   return Inst();
 }
+
+ExecGroup arm::execGroupOf(const Inst &I) {
+  if (!I.isValid())
+    return ExecGroup::Invalid;
+  if (I.isDataProcessing())
+    return ExecGroup::DataProcessing;
+  switch (I.Op) {
+  case Opcode::MUL:
+  case Opcode::MLA:
+  case Opcode::UMULL:
+  case Opcode::SMULL:
+  case Opcode::CLZ:
+    return ExecGroup::Multiply;
+  case Opcode::LDR:
+  case Opcode::STR:
+  case Opcode::LDRB:
+  case Opcode::STRB:
+  case Opcode::LDRH:
+  case Opcode::STRH:
+    return ExecGroup::LoadStore;
+  case Opcode::LDM:
+  case Opcode::STM:
+    return ExecGroup::BlockTransfer;
+  case Opcode::B:
+  case Opcode::BL:
+  case Opcode::BX:
+    return ExecGroup::Branch;
+  default:
+    return ExecGroup::System;
+  }
+}

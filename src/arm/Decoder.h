@@ -10,6 +10,12 @@
 /// Op == Opcode::Invalid, which the emulator turns into an undefined
 /// instruction exception — exactly how real hardware treats them.
 ///
+/// Alongside the word decoder this header defines \ref ExecGroup, the
+/// coarse handler classification the interpreter's decoded-instruction
+/// cache stores per record (DESIGN.md §14): classifying once at decode
+/// time lets the execution loop dispatch through a function-pointer table
+/// instead of re-running the opcode switch on every visit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RDBT_ARM_DECODER_H
@@ -23,6 +29,28 @@ namespace arm {
 /// Decodes one instruction word. Never fails; unknown encodings yield
 /// Opcode::Invalid.
 Inst decode(uint32_t Word);
+
+/// Coarse execution-handler class of a decoded instruction. One value per
+/// sys::Interpreter exec* handler, plus Invalid for undecodable words.
+/// Stored in decoded-instruction cache records as the "handler id" and
+/// used to index the interpreter's dispatch table.
+enum class ExecGroup : uint8_t {
+  DataProcessing,
+  Multiply,
+  LoadStore,
+  BlockTransfer,
+  Branch,
+  System,
+  Invalid,
+};
+
+constexpr unsigned NumExecGroups = 7;
+
+/// Classifies \p I into the handler group its opcode executes under.
+/// Invalid instructions map to ExecGroup::Invalid; everything the opcode
+/// switch does not special-case falls through to System, mirroring the
+/// interpreter's historical decode-then-switch dispatch exactly.
+ExecGroup execGroupOf(const Inst &I);
 
 } // namespace arm
 } // namespace rdbt

@@ -46,6 +46,8 @@ void DbtEngine::setObs(obs::TraceSink *Sink, obs::Metrics *M) {
   TranslateNsHist_ = M ? &M->histogram(obs::metric::TranslateNs) : nullptr;
   GuestBlockLenHist_ = M ? &M->histogram(obs::metric::GuestBlockLen) : nullptr;
   ChainDepthHist_ = M ? &M->histogram(obs::metric::ChainDepth) : nullptr;
+  Interp.setDecodeNsHistogram(M ? &M->histogram(obs::metric::DecodeNs)
+                                : nullptr);
 }
 
 DbtEngine::DbtEngine(sys::Platform &B, Translator &T)
@@ -107,6 +109,11 @@ int DbtEngine::translateAt(uint32_t Pc) {
 
 void DbtEngine::drainInvalidationRequest() {
   sys::CpuEnv &Env = Board.Env;
+  // The interpreter's decoded-instruction cache rides the same request.
+  // Normally the interpreter already scrubbed itself at the raise site,
+  // but a restored snapshot can carry a pending request this Interp never
+  // saw — re-applying is idempotent.
+  Interp.onTbInvalidate(Env.TbInvKind, Env.TbInvAsid, Env.TbInvPage);
   switch (Env.TbInvKind) {
   case sys::TbInvNone:
     return;
@@ -303,22 +310,16 @@ host::HelperHandler::Outcome DbtEngine::emulateHelper(uint32_t GuestPc) {
   const uint32_t OldTtbr = Env.Ttbr0;
   const uint32_t OldContextidr = Env.Contextidr;
 
-  uint32_t Word = 0;
-  sys::Fault F;
-  sys::StepKind K;
-  if (!Mmu_.fetchWord(GuestPc, Word, F)) {
-    Env.Ifsr = F.Fsr;
-    Env.Dfar = F.Far;
-    sys::takeException(Env, sys::ExcKind::PrefetchAbort, GuestPc);
-    K = sys::StepKind::Exception;
-  } else {
-    const arm::Inst I = arm::decode(Word);
-    K = Interp.execute(I, GuestPc);
-    // Keep the packed side slot coherent after helper-side flag writes so
-    // the packed sync-restore can trust it (see Env.h).
-    if (I.definesFlags() && K != sys::StepKind::Exception)
-      Env.PackedCcr = sys::packFlags(Env);
-  }
+  // Fetch + decode + execute through the interpreter's decoded-
+  // instruction cache: repeated fallbacks to the same instruction skip
+  // the word decoder entirely. Fetch faults deliver the prefetch abort
+  // inside stepAt, exactly as the open-coded path here used to.
+  bool DefinesFlags = false;
+  const sys::StepKind K = Interp.stepAt(GuestPc, &DefinesFlags);
+  // Keep the packed side slot coherent after helper-side flag writes so
+  // the packed sync-restore can trust it (see Env.h).
+  if (DefinesFlags && K != sys::StepKind::Exception)
+    Env.PackedCcr = sys::packFlags(Env);
 
   if (WasPacked && !Env.CcrPacked)
     Out.Cost += cost::DeferredCcParse;

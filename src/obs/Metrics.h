@@ -119,6 +119,7 @@ constexpr const char *TranslateNs = "translate_ns";    ///< wall ns per block
 constexpr const char *GuestBlockLen = "guest_block_len"; ///< instrs per block
 constexpr const char *MatchAttempts = "match_attempts"; ///< per translated block
 constexpr const char *ChainDepth = "chain_depth"; ///< follows per cache stint
+constexpr const char *DecodeNs = "decode_ns"; ///< wall ns per fallback decode
 } // namespace metric
 
 } // namespace obs

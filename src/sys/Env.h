@@ -101,7 +101,11 @@ struct CpuEnv {
   // SCTLR MMU toggles and TLB-maintenance ops and consumed by the DBT
   // engine between TBs. Kind is a TbInv* value; TbInvAsid/TbInvPage carry
   // the scope operand. Raise through requestTbInvalidate(), which widens
-  // the scope when requests pile up before the engine drains them.
+  // the scope when requests pile up before the engine drains them. The
+  // interpreter's decoded-instruction cache (DESIGN.md §14) rides the
+  // same pipeline: it scrubs itself at the raise site (it is the only
+  // raiser) and again when the engine drains a request, so a snapshot
+  // restored with a pending request still drops the right pages.
   uint32_t TbInvKind;
   uint32_t TbInvAsid; ///< TbInvAsid scope: the ASID to drop
   uint32_t TbInvPage; ///< TbInvPage scope: page-aligned guest VA

@@ -7,15 +7,25 @@
 #include "sys/Interpreter.h"
 
 #include "arm/Decoder.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace rdbt;
 using namespace rdbt::sys;
 using arm::Cond;
+using arm::ExecGroup;
 using arm::Inst;
 using arm::Opcode;
 using arm::ShiftKind;
+
+static uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 bool Interpreter::conditionHolds(Cond C) {
   if (C == Cond::AL || C == Cond::NV)
@@ -441,7 +451,7 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
         // The translation regime changed (or legacy policy): nothing
         // keyed on virtual addresses survives.
         Mem.flushTlb();
-        requestTbInvalidate(Env, TbInvFull);
+        raiseTbInvalidate(TbInvFull);
       }
       break;
     }
@@ -449,7 +459,7 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
       Env.Ttbr0 = Value;
       if (Blanket) {
         Mem.flushTlb();
-        requestTbInvalidate(Env, TbInvFull);
+        raiseTbInvalidate(TbInvFull);
       }
       // Selective: like hardware, a bare table-base change invalidates
       // nothing — software must issue TLBIASID/TLBIALL if the mappings
@@ -458,7 +468,7 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
     case arm::Cp15Reg::CONTEXTIDR:
       if (Blanket) {
         Mem.flushTlb();
-        requestTbInvalidate(Env, TbInvFull);
+        raiseTbInvalidate(TbInvFull);
       } else {
         // Shelve other address spaces' TLB entries (inline probes are
         // ASID-blind); translations stay cached under their ASID key.
@@ -476,26 +486,26 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
       Mem.flushTlb();
       // Translations embed code bytes fetched through the old mapping;
       // a global TLB invalidation signals the mapping may have changed.
-      requestTbInvalidate(Env, TbInvFull);
+      raiseTbInvalidate(TbInvFull);
       break;
     case arm::Cp15Reg::TLBIMVA:
       // Operand: MVA in bits [31:12], ASID in bits [7:0] (the ASID only
       // scopes the TLB side; the TB drop is per-page across ASIDs).
       if (Blanket) {
         Mem.flushTlb();
-        requestTbInvalidate(Env, TbInvFull);
+        raiseTbInvalidate(TbInvFull);
       } else {
         Mem.flushTlbPage(Value & ~0xFFFu);
-        requestTbInvalidate(Env, TbInvPage, 0, Value & ~0xFFFu);
+        raiseTbInvalidate(TbInvPage, 0, Value & ~0xFFFu);
       }
       break;
     case arm::Cp15Reg::TLBIASID:
       if (Blanket) {
         Mem.flushTlb();
-        requestTbInvalidate(Env, TbInvFull);
+        raiseTbInvalidate(TbInvFull);
       } else {
         Mem.flushTlbAsid(Value & AsidMask);
-        requestTbInvalidate(Env, TbInvAsid, Value & AsidMask);
+        raiseTbInvalidate(TbInvAsid, Value & AsidMask);
       }
       break;
     case arm::Cp15Reg::DFSR:
@@ -555,11 +565,25 @@ StepKind Interpreter::execSystem(const Inst &I, uint32_t Pc) {
   return StepKind::Ok;
 }
 
-StepKind Interpreter::execute(const Inst &I, uint32_t Pc) {
+// One handler per ExecGroup value, in enum order. The Invalid entry is
+// never called — executeGrouped delivers the undefined-instruction
+// exception before indexing the table.
+const Interpreter::ExecFn Interpreter::ExecTable[arm::NumExecGroups] = {
+    &Interpreter::execDataProcessing, // ExecGroup::DataProcessing
+    &Interpreter::execMultiply,       // ExecGroup::Multiply
+    &Interpreter::execLoadStore,      // ExecGroup::LoadStore
+    &Interpreter::execBlockTransfer,  // ExecGroup::BlockTransfer
+    &Interpreter::execBranch,         // ExecGroup::Branch
+    &Interpreter::execSystem,         // ExecGroup::System
+    &Interpreter::execSystem,         // ExecGroup::Invalid (unreachable)
+};
+
+StepKind Interpreter::executeGrouped(const Inst &I, ExecGroup G,
+                                     uint32_t Pc) {
   Env.Regs[15] = Pc;
   ++InstrsRetired;
 
-  if (!I.isValid())
+  if (G == ExecGroup::Invalid)
     return undefined(Pc);
 
   if (!conditionHolds(I.C)) {
@@ -567,36 +591,78 @@ StepKind Interpreter::execute(const Inst &I, uint32_t Pc) {
     return StepKind::Ok;
   }
 
-  if (I.isDataProcessing())
-    return execDataProcessing(I, Pc);
-  switch (I.Op) {
-  case Opcode::MUL:
-  case Opcode::MLA:
-  case Opcode::UMULL:
-  case Opcode::SMULL:
-  case Opcode::CLZ:
-    return execMultiply(I, Pc);
-  case Opcode::LDR:
-  case Opcode::STR:
-  case Opcode::LDRB:
-  case Opcode::STRB:
-  case Opcode::LDRH:
-  case Opcode::STRH:
-    return execLoadStore(I, Pc);
-  case Opcode::LDM:
-  case Opcode::STM:
-    return execBlockTransfer(I, Pc);
-  case Opcode::B:
-  case Opcode::BL:
-  case Opcode::BX:
-    return execBranch(I, Pc);
-  default:
-    return execSystem(I, Pc);
+  return (this->*ExecTable[static_cast<uint8_t>(G)])(I, Pc);
+}
+
+StepKind Interpreter::execute(const Inst &I, uint32_t Pc) {
+  return executeGrouped(I, arm::execGroupOf(I), Pc);
+}
+
+Interpreter::DecodedInst &Interpreter::recordFor(uint32_t Pc,
+                                                 uint32_t Word) {
+  const uint32_t PageVa = Pc & ~(DecodePageBytes - 1);
+  // XOR-fold the page number into the slot index: guest images place the
+  // kernel near VA 0 and user code megabytes up, so the plain low bits of
+  // the page number collide (0x0 and 0x400000 both land in slot 0) and
+  // every kernel entry/exit would evict the other side's page.
+  const uint32_t Pn = Pc / DecodePageBytes;
+  DecodePage &P =
+      DecodePages[(Pn ^ (Pn >> 4) ^ (Pn >> 8)) & (NumDecodePages - 1)];
+  if (P.PageVa != PageVa || P.MmuIdx != Env.MmuIdx) {
+    // (Re)key the slot for this page, evicting whatever it held; every
+    // record starts invalid. The lookup key deliberately omits the ASID:
+    // hits revalidate against the freshly fetched word, so records for a
+    // shared mapping (the kernel image) survive context switches, and a
+    // per-ASID mapping of different bytes simply misses.
+    if (!P.Records)
+      P.Records.reset(new DecodedInst[WordsPerPage]());
+    else
+      for (uint32_t R = 0; R < WordsPerPage; ++R)
+        P.Records[R].Valid = false;
+    P.PageVa = PageVa;
+    P.MmuIdx = Env.MmuIdx;
+  }
+  // Track the ASID the slot was last consulted under — invalidation-scope
+  // metadata for TbInvAsid, not a lookup key.
+  P.Asid = currentAsid(Env);
+  DecodedInst &R = P.Records[(Pc & (DecodePageBytes - 1)) / 4];
+  if (R.Valid && R.RawWord == Word) {
+    ++DecodeHits;
+    return R;
+  }
+  ++DecodeMisses;
+  R.I = arm::decode(Word);
+  R.RawWord = Word;
+  R.Group = arm::execGroupOf(R.I);
+  R.DefinesFlags = R.I.definesFlags();
+  R.Valid = true;
+  return R;
+}
+
+void Interpreter::onTbInvalidate(uint32_t Kind, uint32_t Asid,
+                                 uint32_t Page) {
+  if (Kind == TbInvNone)
+    return;
+  for (DecodePage &P : DecodePages) {
+    if (P.PageVa == DecodePage::EmptyTag)
+      continue;
+    const bool Drop = Kind == TbInvFull ||
+                      (Kind == TbInvAsid && P.Asid == Asid) ||
+                      (Kind == TbInvPage && P.PageVa == Page);
+    if (Drop) {
+      P.PageVa = DecodePage::EmptyTag;
+      ++DecodePagesDropped;
+    }
   }
 }
 
-StepKind Interpreter::step() {
-  const uint32_t Pc = Env.Regs[15];
+void Interpreter::raiseTbInvalidate(uint32_t Kind, uint32_t Asid,
+                                    uint32_t Page) {
+  requestTbInvalidate(Env, Kind, Asid, Page);
+  onTbInvalidate(Kind, Asid, Page);
+}
+
+StepKind Interpreter::stepAt(uint32_t Pc, bool *DefinesFlags) {
   uint32_t Word = 0;
   Fault F;
   if (!Mem.fetchWord(Pc, Word, F)) {
@@ -605,13 +671,35 @@ StepKind Interpreter::step() {
     takeException(Env, ExcKind::PrefetchAbort, Pc);
     return StepKind::Exception;
   }
-  return execute(arm::decode(Word), Pc);
+  if (!FastpathOn) {
+    const uint64_t T0 = DecodeNs ? nowNs() : 0;
+    const Inst I = arm::decode(Word);
+    if (DecodeNs)
+      DecodeNs->record(nowNs() - T0);
+    ++DecodeMisses;
+    if (DefinesFlags)
+      *DefinesFlags = I.definesFlags();
+    return executeGrouped(I, arm::execGroupOf(I), Pc);
+  }
+  const uint64_t T0 = DecodeNs ? nowNs() : 0;
+  const DecodedInst &R = recordFor(Pc, Word);
+  if (DecodeNs)
+    DecodeNs->record(nowNs() - T0);
+  if (DefinesFlags)
+    *DefinesFlags = R.DefinesFlags;
+  return executeGrouped(R.I, R.Group, Pc);
 }
 
+StepKind Interpreter::step() { return stepAt(Env.Regs[15]); }
+
 sys::SystemRunResult sys::runSystemInterpreter(Platform &Board,
-                                               uint64_t MaxInstrs) {
+                                               uint64_t MaxInstrs,
+                                               bool Fastpath,
+                                               obs::Histogram *DecodeNs) {
   Mmu Mem(Board.Env, Board);
   Interpreter Interp(Board.Env, Mem, Board);
+  Interp.setFastpath(Fastpath);
+  Interp.setDecodeNsHistogram(DecodeNs);
   SystemRunResult Result;
   while (!Board.ShutdownRequested && Interp.InstrsRetired < MaxInstrs) {
     if (Board.Env.Halted) {
@@ -633,6 +721,8 @@ sys::SystemRunResult sys::runSystemInterpreter(Platform &Board,
   }
   Result.Shutdown = Board.ShutdownRequested;
   Result.InstrsRetired = Interp.InstrsRetired;
+  Result.DecodeHits = Interp.DecodeHits;
+  Result.DecodeMisses = Interp.DecodeMisses;
   return Result;
 }
 

@@ -95,6 +95,16 @@ struct RunReport {
   /// (all zero for the native executor).
   dbt::CacheStats Cache;
 
+  /// Interpreter decoded-instruction cache behavior (DESIGN.md §14):
+  /// cache hits and misses across the fallback path (DBT kinds) or every
+  /// step (native kind). Always-on host-side observability — never part
+  /// of simulated state, never perf-gated across configs (the bench JSON
+  /// emits them as interp_* fields, waived by prefix in A/B gates), and
+  /// not adopted across warm forks: a forked session restarts them at
+  /// zero because its decode cache starts scrubbed.
+  uint64_t InterpDecodeHits = 0;
+  uint64_t InterpDecodeMisses = 0;
+
   /// Rule-translator translation statistics (zero for other kinds).
   uint64_t RuleCoveredInstrs = 0;
   uint64_t FallbackInstrs = 0;

@@ -152,6 +152,7 @@ void Vm::init() {
       Rule->setGapMiner(Cfg.gapMiner());
   Engine_ = std::make_unique<dbt::DbtEngine>(*Board_, *Xlat_);
   Engine_->setRunawayGuard(Cfg.runawayGuard());
+  Engine_->setInterpFastpath(Cfg.interpFastpath());
   if (Sink_)
     Engine_->setObs(Sink_.get(), Metrics_.get());
   if (Cfg.profileHotBlocks())
@@ -326,19 +327,28 @@ RunReport Vm::run(uint64_t WallBudget) {
 
   const uint64_t T0 = nowNs();
   if (!Kind_->UsesEngine) {
-    const sys::SystemRunResult Res =
-        sys::runSystemInterpreter(*Board_, WallBudget);
+    const sys::SystemRunResult Res = sys::runSystemInterpreter(
+        *Board_, WallBudget, Cfg.interpFastpath(),
+        Metrics_ ? &Metrics_->histogram(obs::metric::DecodeNs) : nullptr);
     R.Stop = Res.Shutdown ? dbt::StopReason::GuestShutdown
              : Res.Deadlocked ? dbt::StopReason::Deadlock
                               : dbt::StopReason::WallLimit;
     // Native execution: one cycle per guest instruction. Accumulate
     // across resumed runs to match the engine path's counter semantics.
+    // (The decode cache itself is per-call — each run() slice rebuilds it
+    // — but the hit/miss totals accumulate like the instruction count.)
     NativeInstrs_ += Res.InstrsRetired;
+    NativeDecodeHits_ += Res.DecodeHits;
+    NativeDecodeMisses_ += Res.DecodeMisses;
     R.Counters.Wall = NativeInstrs_;
     R.Counters.GuestInstrs = NativeInstrs_;
+    R.InterpDecodeHits = NativeDecodeHits_;
+    R.InterpDecodeMisses = NativeDecodeMisses_;
   } else {
     R.Stop = Engine_->run(WallBudget);
     R.Counters = Engine_->counters();
+    R.InterpDecodeHits = Engine_->interp().DecodeHits;
+    R.InterpDecodeMisses = Engine_->interp().DecodeMisses;
     R.Engine = Engine_->Stats;
     R.Cache = Engine_->codeCache().Stats;
     R.Cache.LiveTbs = Engine_->codeCache().size();

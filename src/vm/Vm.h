@@ -151,6 +151,12 @@ private:
   const TranslatorRegistry::KindInfo *Kind_ = nullptr;
   std::unique_ptr<sys::Platform> Board_;
   uint64_t NativeInstrs_ = 0; ///< native executor: instrs across run() calls
+  /// Native executor: decoded-instruction cache hits/misses accumulated
+  /// across run() calls (the engine path reads the engine's interpreter
+  /// instead). Host-side observability only — never snapshot-carried; a
+  /// fork restarts at zero because its decode cache starts scrubbed.
+  uint64_t NativeDecodeHits_ = 0;
+  uint64_t NativeDecodeMisses_ = 0;
   /// Reference set when no external set is given, the corpus loaded from
   /// the "rule:file=<path>" parameter, or — for forked sessions — the
   /// snapshot's corpus shared by refcount. Immutable after construction:

@@ -169,6 +169,16 @@ public:
     ProfileHotBlocks_ = On;
     return *this;
   }
+  /// Enables the interpreter fastpath — the per-page decoded-instruction
+  /// cache with threaded dispatch (DESIGN.md §14). On by default; turn
+  /// off to A/B the pre-cache decode-every-step behavior. Guest-visible
+  /// state and every simulated counter are bit-identical either way;
+  /// only host wall time and the RunReport::InterpDecode* observability
+  /// counters differ. Spec strings carry it as ",ifp=on|off".
+  VmConfig &interpFastpath(bool On) {
+    InterpFastpath_ = On;
+    return *this;
+  }
 
   // --- Accessors ----------------------------------------------------------
 
@@ -191,13 +201,14 @@ public:
   bool persistentCacheSaveOnExit() const { return PersistentCacheSave_; }
   const std::string &trace() const { return TracePath_; }
   bool profileHotBlocks() const { return ProfileHotBlocks_; }
+  bool interpFastpath() const { return InterpFastpath_; }
 
   // --- Spec strings -------------------------------------------------------
 
-  /// Parses "<kind>[/<workload>[@<scale>]][,cache=<dir>][,trace=<path>]".
-  /// The kind must be registered and the workload known; on failure the
-  /// returned config is unusable (Vm construction reports the error) and
-  /// *Error, when given, says why.
+  /// Parses "<kind>[/<workload>[@<scale>]][,cache=<dir>][,trace=<path>]
+  /// [,ifp=on|off]". The kind must be registered and the workload known;
+  /// on failure the returned config is unusable (Vm construction reports
+  /// the error) and *Error, when given, says why.
   static VmConfig fromSpec(const std::string &Spec,
                            std::string *Error = nullptr);
 
@@ -225,6 +236,7 @@ private:
   bool PersistentCacheSave_ = true;
   std::string TracePath_;
   bool ProfileHotBlocks_ = false;
+  bool InterpFastpath_ = true;
 };
 
 } // namespace vm
